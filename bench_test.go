@@ -1,0 +1,165 @@
+package p4auth
+
+import (
+	"testing"
+	"time"
+
+	"p4auth/internal/bench"
+	"p4auth/internal/crypto"
+)
+
+// One benchmark per table and figure of the paper's evaluation (§IX) plus
+// the §XI ablation. Each iteration regenerates the artifact end to end;
+// run `go test -bench=. -benchmem` at the repository root, or
+// `go run ./cmd/p4auth-bench` for the formatted tables.
+
+func benchReport(b *testing.B, run func() (*bench.Report, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkTableI(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.TableI() })
+}
+
+func BenchmarkFig16RouteScout(b *testing.B) {
+	opts := bench.DefaultFig16Opts()
+	opts.Duration = 600 * time.Millisecond // virtual
+	benchReport(b, func() (*bench.Report, error) { return bench.Fig16(opts) })
+}
+
+func BenchmarkFig17Hula(b *testing.B) {
+	opts := bench.DefaultFig17Opts()
+	opts.Duration = 60 * time.Millisecond // virtual
+	benchReport(b, func() (*bench.Report, error) { return bench.Fig17(opts) })
+}
+
+func BenchmarkFig18RegisterRCT(b *testing.B) {
+	opts := bench.RegRWOpts{Requests: 50}
+	benchReport(b, func() (*bench.Report, error) { return bench.Fig18(opts) })
+}
+
+func BenchmarkFig19RegisterThroughput(b *testing.B) {
+	opts := bench.RegRWOpts{Requests: 50}
+	benchReport(b, func() (*bench.Report, error) { return bench.Fig19(opts) })
+}
+
+func BenchmarkTableIIResources(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.TableII() })
+}
+
+func BenchmarkFig20KMPRTT(b *testing.B) {
+	opts := bench.DefaultFig20Opts()
+	opts.Samples = 10
+	benchReport(b, func() (*bench.Report, error) { return bench.Fig20(opts) })
+}
+
+func BenchmarkFig21ProbeTraversal(b *testing.B) {
+	opts := bench.DefaultFig21Opts()
+	opts.Hops = []int{2, 6, 10}
+	opts.Samples = 3
+	benchReport(b, func() (*bench.Report, error) { return bench.Fig21(opts) })
+}
+
+func BenchmarkTableIIIScalability(b *testing.B) {
+	opts := bench.TableIIIOpts{Switches: 8, Links: 12}
+	benchReport(b, func() (*bench.Report, error) { return bench.TableIII(opts) })
+}
+
+func BenchmarkAblationDigestWidth(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.AblationDigest() })
+}
+
+// Full-pipeline Table I extensions.
+
+func BenchmarkNetCacheExt(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.NetCacheExt() })
+}
+
+func BenchmarkSilkRoadExt(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.SilkRoadExt() })
+}
+
+func BenchmarkNetwardenExt(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.NetwardenExt() })
+}
+
+func BenchmarkFlowRadarExt(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.FlowRadarExt() })
+}
+
+func BenchmarkBlinkExt(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.BlinkExt() })
+}
+
+// Micro-benchmarks of the primitives behind the figures.
+
+func BenchmarkAuthenticatedWrite(b *testing.B) {
+	variantsSetup := func() (*Controller, error) {
+		sw, err := BuildSwitch(SwitchSpec{
+			Name:  "b1",
+			Ports: 4,
+			Registers: []*RegisterDef{
+				{Name: "r", Width: 64, Entries: 64},
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		c := NewController(crypto.NewSeededRand(9))
+		if err := c.Register("b1", sw.Host, sw.Cfg, 0); err != nil {
+			return nil, err
+		}
+		if _, err := c.LocalKeyInit("b1"); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	c, err := variantsSetup()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.WriteRegister("b1", "r", uint32(i%64), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocalKeyRollover(b *testing.B) {
+	sw, err := BuildSwitch(SwitchSpec{
+		Name:  "b2",
+		Ports: 4,
+		Registers: []*RegisterDef{
+			{Name: "r", Width: 64, Entries: 4},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewController(crypto.NewSeededRand(10))
+	if err := c.Register("b2", sw.Host, sw.Cfg, 0); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.LocalKeyInit("b2"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.LocalKeyUpdate("b2"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// key-rollover exercises the key-management protocol across a small
+// fabric: fleet-wide initialization, periodic rollover, a topology change
+// (port comes up -> port key init), and in-flight message survival across
+// a rollover thanks to two-version consistent updates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"p4auth/internal/controller"
+	"p4auth/internal/core"
+	"p4auth/internal/crypto"
+	"p4auth/internal/deploy"
+	"p4auth/internal/pisa"
+)
+
+func main() {
+	ctrl := controller.New(crypto.NewSeededRand(0x5011))
+	var sws []*deploy.Switch
+	for i := 1; i <= 3; i++ {
+		sw, err := deploy.Build(deploy.SwitchSpec{
+			Name:  fmt.Sprintf("s%d", i),
+			Ports: 4,
+			Registers: []*pisa.RegisterDef{
+				{Name: "cfg", Width: 64, Entries: 4},
+			},
+			RandSeed: uint64(0x2011 + i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sws = append(sws, sw)
+		if err := ctrl.Register(sw.Host.Name, sw.Host, sw.Cfg, 50*time.Microsecond); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Initial topology: s1 <-> s2.
+	if err := ctrl.ConnectSwitches("s1", 1, "s2", 1, 5*time.Microsecond); err != nil {
+		log.Fatal(err)
+	}
+
+	init, err := ctrl.InitAllKeys()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet key init: %d messages, serial %v\n", init.Messages, init.RTT)
+
+	// Topology change: the s1<->s3 link comes up; only that link needs a
+	// port key (Fig. 14(c)).
+	if err := ctrl.ConnectSwitches("s1", 2, "s3", 1, 5*time.Microsecond); err != nil {
+		log.Fatal(err)
+	}
+	pk, err := ctrl.PortKeyInit("s1", 2, "s3", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("new link s1:2<->s3:1 keyed: %d messages, RTT %v\n", pk.Messages, pk.RTT)
+	k1, _ := sws[0].Host.SW.RegisterRead(core.RegKeysV1, 2)
+	k3, _ := sws[2].Host.SW.RegisterRead(core.RegKeysV1, 1)
+	fmt.Printf("  both data planes hold the same port key: %v (controller never sees it)\n", k1 == k3)
+
+	// Periodic rollover: three rounds, with an authenticated write after
+	// each proving the fleet stays operational.
+	for round := 1; round <= 3; round++ {
+		upd, err := ctrl.UpdateAllKeys()
+		if err != nil {
+			log.Fatalf("rollover %d: %v", round, err)
+		}
+		for _, sw := range sws {
+			if _, err := ctrl.WriteRegister(sw.Host.Name, "cfg", 0, uint64(round)); err != nil {
+				log.Fatalf("rollover %d: write on %s: %v", round, sw.Host.Name, err)
+			}
+		}
+		ver, _ := sws[0].Host.SW.RegisterRead(core.RegVer, core.KeyIndexLocal)
+		fmt.Printf("rollover %d: %d messages, serial %v, s1 local-key version now %d\n",
+			round, upd.Messages, upd.RTT, ver)
+	}
+
+	fmt.Println("\nkeys rolled three times; every switch kept accepting authenticated")
+	fmt.Println("writes because messages are tagged with the key version they were")
+	fmt.Println("signed under (consistent updates, §VI-C).")
+}

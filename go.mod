@@ -1,0 +1,3 @@
+module p4auth
+
+go 1.22

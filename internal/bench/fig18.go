@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"p4auth/internal/controller"
+	"p4auth/internal/crypto"
+	"p4auth/internal/deploy"
+	"p4auth/internal/pisa"
+)
+
+// RegRWOpts parameterizes the register read/write measurements.
+type RegRWOpts struct {
+	// Requests per variant per operation.
+	Requests int
+}
+
+// DefaultRegRWOpts matches the paper's sequential-request methodology.
+func DefaultRegRWOpts() RegRWOpts { return RegRWOpts{Requests: 200} }
+
+// regRWVariant measures one of the paper's three register-access variants.
+type regRWVariant struct {
+	label string
+	read  func() (time.Duration, error)
+	write func() (time.Duration, error)
+}
+
+func buildRegRWVariants() ([]regRWVariant, error) {
+	mk := func(name string, insecure bool) (*deploy.Switch, *controller.Controller, error) {
+		sw, err := deploy.Build(deploy.SwitchSpec{
+			Name:     name,
+			Ports:    4,
+			Insecure: insecure,
+			Registers: []*pisa.RegisterDef{
+				{Name: "bench_reg", Width: 64, Entries: 1024},
+			},
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		c := controller.New(crypto.NewSeededRand(0xF18))
+		if err := c.Register(name, sw.Host, sw.Cfg, 0); err != nil {
+			return nil, nil, err
+		}
+		return sw, c, nil
+	}
+
+	// P4Runtime variant: the API stack. DP-Reg-RW: PacketOut without
+	// digests. P4Auth: PacketOut with digests under an established key.
+	_, apiCtrl, err := mk("api", true)
+	if err != nil {
+		return nil, err
+	}
+	_, dpCtrl, err := mk("dp", true)
+	if err != nil {
+		return nil, err
+	}
+	_, paCtrl, err := mk("pa", false)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := paCtrl.LocalKeyInit("pa"); err != nil {
+		return nil, err
+	}
+
+	var i uint32
+	next := func() uint32 { i++; return i % 1024 }
+	return []regRWVariant{
+		{
+			label: "P4Runtime",
+			read: func() (time.Duration, error) {
+				_, lat, err := apiCtrl.ReadRegisterAPI("api", "bench_reg", next())
+				return lat, err
+			},
+			write: func() (time.Duration, error) {
+				return apiCtrl.WriteRegisterAPI("api", "bench_reg", next(), 42)
+			},
+		},
+		{
+			label: "DP-Reg-RW",
+			read: func() (time.Duration, error) {
+				_, lat, err := dpCtrl.ReadRegisterInsecure("dp", "bench_reg", next())
+				return lat, err
+			},
+			write: func() (time.Duration, error) {
+				return dpCtrl.WriteRegisterInsecure("dp", "bench_reg", next(), 42)
+			},
+		},
+		{
+			label: "P4Auth",
+			read: func() (time.Duration, error) {
+				_, lat, err := paCtrl.ReadRegister("pa", "bench_reg", next())
+				return lat, err
+			},
+			write: func() (time.Duration, error) {
+				return paCtrl.WriteRegister("pa", "bench_reg", next(), 42)
+			},
+		},
+	}, nil
+}
+
+func meanLatency(n int, op func() (time.Duration, error)) (time.Duration, error) {
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		lat, err := op()
+		if err != nil {
+			return 0, err
+		}
+		total += lat
+	}
+	return total / time.Duration(n), nil
+}
+
+// Fig18 regenerates Fig. 18: register read/write request completion time
+// for the three variants.
+func Fig18(opts RegRWOpts) (*Report, error) {
+	variants, err := buildRegRWVariants()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:      "Fig 18",
+		Title:   "Register read/write request completion time (RCT)",
+		Columns: []string{"variant", "read RCT", "write RCT"},
+	}
+	for _, v := range variants {
+		r, err := meanLatency(opts.Requests, v.read)
+		if err != nil {
+			return nil, err
+		}
+		w, err := meanLatency(opts.Requests, v.write)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, []string{v.label, r.String(), w.String()})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: P4Auth has minimal impact on RCT versus DP-Reg-RW")
+	return rep, nil
+}
+
+// Fig19 regenerates Fig. 19: register read/write throughput.
+func Fig19(opts RegRWOpts) (*Report, error) {
+	variants, err := buildRegRWVariants()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:      "Fig 19",
+		Title:   "Register read/write throughput (requests/s, sequential)",
+		Columns: []string{"variant", "read tput", "write tput", "read/write"},
+	}
+	type tputs struct{ read, write float64 }
+	all := map[string]tputs{}
+	for _, v := range variants {
+		r, err := meanLatency(opts.Requests, v.read)
+		if err != nil {
+			return nil, err
+		}
+		w, err := meanLatency(opts.Requests, v.write)
+		if err != nil {
+			return nil, err
+		}
+		tr := float64(time.Second) / float64(r)
+		tw := float64(time.Second) / float64(w)
+		all[v.label] = tputs{tr, tw}
+		rep.Rows = append(rep.Rows, []string{
+			v.label,
+			fmt.Sprintf("%.0f/s", tr),
+			fmt.Sprintf("%.0f/s", tw),
+			fmt.Sprintf("%.2fx", tr/tw),
+		})
+	}
+	dp, pa := all["DP-Reg-RW"], all["P4Auth"]
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("P4Auth vs DP-Reg-RW: read %+.1f%%, write %+.1f%% (paper: -4.2%% and -2.1%%)",
+			100*(pa.read-dp.read)/dp.read, 100*(pa.write-dp.write)/dp.write),
+		fmt.Sprintf("P4Runtime read/write ratio %.2fx (paper: ~1.7x)",
+			all["P4Runtime"].read/all["P4Runtime"].write),
+	)
+	return rep, nil
+}

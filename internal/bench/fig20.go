@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"p4auth/internal/controller"
+	"p4auth/internal/crypto"
+	"p4auth/internal/deploy"
+	"p4auth/internal/pisa"
+)
+
+// Fig20Opts parameterizes the key-management RTT measurement.
+type Fig20Opts struct {
+	Samples int
+	// CDPLat is the one-way controller-switch link latency.
+	CDPLat time.Duration
+	// DPDPLat is the one-way switch-switch link latency.
+	DPDPLat time.Duration
+}
+
+// DefaultFig20Opts mirrors the paper's setup (local controller, directly
+// attached switches).
+func DefaultFig20Opts() Fig20Opts {
+	return Fig20Opts{Samples: 30, CDPLat: 50 * time.Microsecond, DPDPLat: 5 * time.Microsecond}
+}
+
+// Fig20 regenerates Fig. 20: average key-management RTT for local/port key
+// initialization and update.
+func Fig20(opts Fig20Opts) (*Report, error) {
+	build := func(name string) (*deploy.Switch, error) {
+		return deploy.Build(deploy.SwitchSpec{
+			Name:  name,
+			Ports: 4,
+			Registers: []*pisa.RegisterDef{
+				{Name: "r", Width: 32, Entries: 4},
+			},
+		})
+	}
+	s1, err := build("k1")
+	if err != nil {
+		return nil, err
+	}
+	s2, err := build("k2")
+	if err != nil {
+		return nil, err
+	}
+	c := controller.New(crypto.NewSeededRand(0xF20))
+	if err := c.Register("k1", s1.Host, s1.Cfg, opts.CDPLat); err != nil {
+		return nil, err
+	}
+	if err := c.Register("k2", s2.Host, s2.Cfg, opts.CDPLat); err != nil {
+		return nil, err
+	}
+	if err := c.ConnectSwitches("k1", 1, "k2", 1, opts.DPDPLat); err != nil {
+		return nil, err
+	}
+
+	sample := func(op func() (controller.KMPResult, error)) (time.Duration, int, int, error) {
+		var total time.Duration
+		var msgs, bytes int
+		for i := 0; i < opts.Samples; i++ {
+			res, err := op()
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			total += res.RTT
+			msgs, bytes = res.Messages, res.Bytes
+		}
+		return total / time.Duration(opts.Samples), msgs, bytes, nil
+	}
+
+	rep := &Report{
+		ID:      "Fig 20",
+		Title:   "Key management protocol RTT (mean over samples)",
+		Columns: []string{"operation", "RTT", "messages", "bytes"},
+	}
+
+	type op struct {
+		label string
+		run   func() (controller.KMPResult, error)
+	}
+	// Prime keys once so updates are valid from the first sample.
+	if _, err := c.LocalKeyInit("k1"); err != nil {
+		return nil, err
+	}
+	if _, err := c.LocalKeyInit("k2"); err != nil {
+		return nil, err
+	}
+	if _, err := c.PortKeyInit("k1", 1, "k2", 1); err != nil {
+		return nil, err
+	}
+	for _, o := range []op{
+		{"local key init (EAK+ADHKD)", func() (controller.KMPResult, error) { return c.LocalKeyInit("k1") }},
+		{"local key update (ADHKD)", func() (controller.KMPResult, error) { return c.LocalKeyUpdate("k1") }},
+		{"port key init (via controller)", func() (controller.KMPResult, error) { return c.PortKeyInit("k1", 1, "k2", 1) }},
+		{"port key update (direct DP-DP)", func() (controller.KMPResult, error) { return c.PortKeyUpdate("k1", 1) }},
+	} {
+		rtt, msgs, bytes, err := sample(o.run)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", o.label, err)
+		}
+		rep.Rows = append(rep.Rows, []string{o.label, rtt.String(), fmt.Sprintf("%d", msgs), fmt.Sprintf("%d", bytes)})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: 1-2 ms for key initialization, <1 ms for updates; port init longest (controller redirection)",
+		"paper: port key update beats local key update (DP-DP legs are faster than C-DP)")
+	return rep, nil
+}

@@ -1,0 +1,111 @@
+package blink
+
+import (
+	"testing"
+)
+
+const (
+	primaryPort   = 2
+	backupPort    = 3
+	newBackupPort = 4
+	blackhole     = 9
+)
+
+func deploy(t *testing.T, secure bool) *System {
+	t.Helper()
+	s, err := New(DefaultParams(secure), primaryPort, backupPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDataPlaneFastReroute(t *testing.T) {
+	s := deploy(t, true)
+	// Healthy: primary next hop.
+	if port, err := s.Packet(5, false); err != nil || port != primaryPort {
+		t.Fatalf("healthy packet: port=%d err=%v", port, err)
+	}
+	// Failure evidence: retransmission burst for prefix 5 only.
+	for i := 0; i < FailThreshold; i++ {
+		if _, err := s.Packet(5, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rerouted — with no controller involvement.
+	if port, err := s.Packet(5, false); err != nil || port != backupPort {
+		t.Fatalf("post-failure packet: port=%d err=%v", port, err)
+	}
+	// Other prefixes unaffected.
+	if port, err := s.Packet(6, false); err != nil || port != primaryPort {
+		t.Fatalf("unrelated prefix rerouted: port=%d err=%v", port, err)
+	}
+}
+
+func TestEvidenceBelowThresholdDoesNotReroute(t *testing.T) {
+	s := deploy(t, true)
+	for i := 0; i < FailThreshold-1; i++ {
+		if _, err := s.Packet(7, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if port, err := s.Packet(7, false); err != nil || port != primaryPort {
+		t.Fatalf("sub-threshold evidence rerouted: port=%d err=%v", port, err)
+	}
+}
+
+// runUpdateScenario: the operator re-provisions the backup next hop (the
+// C-DP update of Table I), then a failure wave reroutes the prefix. The
+// metric is where rerouted traffic lands.
+func runUpdateScenario(t *testing.T, secure, attacked bool) (*System, int) {
+	t.Helper()
+	s := deploy(t, secure)
+	if attacked {
+		if err := s.InstallNexthopRewriter(blackhole); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.WriteNexthop(RegBackup, 5, newBackupPort); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < FailThreshold; i++ {
+		if _, err := s.Packet(5, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	port, err := s.Packet(5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, port
+}
+
+func TestCleanBackupUpdate(t *testing.T) {
+	s, port := runUpdateScenario(t, true, false)
+	if port != newBackupPort {
+		t.Fatalf("rerouted to %d, want updated backup %d", port, newBackupPort)
+	}
+	if s.TamperedWrites != 0 {
+		t.Errorf("clean run flagged %d writes", s.TamperedWrites)
+	}
+}
+
+func TestNexthopRewriteBlackholesWithoutP4Auth(t *testing.T) {
+	_, port := runUpdateScenario(t, false, true)
+	if port != blackhole {
+		t.Fatalf("rerouted to %d, expected the attacker's blackhole %d", port, blackhole)
+	}
+}
+
+func TestP4AuthProtectsNexthopUpdates(t *testing.T) {
+	s, port := runUpdateScenario(t, true, true)
+	if s.TamperedWrites == 0 {
+		t.Fatal("tampering undetected")
+	}
+	if port != newBackupPort {
+		t.Fatalf("rerouted to %d, want %d via the quarantined retry", port, newBackupPort)
+	}
+	if len(s.Ctrl.Alerts()) == 0 {
+		t.Error("no alerts recorded")
+	}
+}

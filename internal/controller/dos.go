@@ -1,0 +1,80 @@
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"p4auth/internal/core"
+)
+
+// ResetAlertWindow zeroes a switch's data-plane alert counter with an
+// authenticated write, starting a fresh DoS-threshold window (§VIII: "set
+// a threshold on the number of alert messages sent to the controller in a
+// specific period").
+func (c *Controller) ResetAlertWindow(sw string) (time.Duration, error) {
+	return c.WriteRegister(sw, core.RegAlert, 0, 0)
+}
+
+// DoSIndicator summarizes the §VIII controller-side DoS signals for one
+// switch: outstanding (unanswered) requests and alerts attributed to it.
+type DoSIndicator struct {
+	Switch      string
+	Outstanding int
+	Alerts      int
+}
+
+// CheckDoS evaluates the outstanding-request threshold for every managed
+// switch and returns indicators for those above it. A switch whose
+// responses are being dropped or flooded by an adversary accumulates
+// unanswered sequence numbers; the paper's prescribed operator action is
+// to isolate it.
+func (c *Controller) CheckDoS(outstandingThreshold int) []DoSIndicator {
+	var out []DoSIndicator
+	for name, h := range c.switches {
+		n := h.seq.Outstanding()
+		if n >= outstandingThreshold {
+			alerts := 0
+			for _, a := range c.alerts {
+				if a.Switch == name {
+					alerts++
+				}
+			}
+			out = append(out, DoSIndicator{Switch: name, Outstanding: n, Alerts: alerts})
+		}
+	}
+	return out
+}
+
+// Reinitialize recovers a switch whose key state has drifted from the
+// controller's (possible after a lost key-exchange response plus a retry —
+// see core.FactoryReset): it factory-resets the data plane's P4Auth
+// registers through the driver (the operator reloading the switch), resets
+// the controller-side key store and sequence tracking, and re-runs local
+// key initialization. Port keys must be re-initialized afterwards.
+func (c *Controller) Reinitialize(sw string) (KMPResult, error) {
+	h, err := c.handle(sw)
+	if err != nil {
+		return KMPResult{}, err
+	}
+	if err := core.FactoryReset(h.host.SW, h.cfg); err != nil {
+		return KMPResult{}, err
+	}
+	h.keys = core.NewKeyStore(h.cfg.Ports, h.cfg.Seed)
+	h.seq = core.NewSeqTracker()
+	return c.LocalKeyInit(sw)
+}
+
+// Quarantine removes a switch from management (the operator isolating a
+// suspicious switch, §VIII). Subsequent operations on it fail.
+func (c *Controller) Quarantine(sw string) error {
+	if _, ok := c.switches[sw]; !ok {
+		return fmt.Errorf("controller: unknown switch %q", sw)
+	}
+	delete(c.switches, sw)
+	for pk, peer := range c.adj {
+		if pk.sw == sw || peer.sw == sw {
+			delete(c.adj, pk)
+		}
+	}
+	return nil
+}

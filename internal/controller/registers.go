@@ -1,0 +1,184 @@
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"p4auth/internal/core"
+)
+
+// ReadRegister performs an authenticated register read (the P4Auth path of
+// Fig. 8/15): a signed readReq PacketOut, digest-verified ack PacketIn.
+func (c *Controller) ReadRegister(sw, register string, index uint32) (uint64, time.Duration, error) {
+	h, err := c.handle(sw)
+	if err != nil {
+		return 0, 0, err
+	}
+	ri, err := h.info.RegisterByName(register)
+	if err != nil {
+		return 0, 0, err
+	}
+	req, err := h.signedMessage(core.HdrRegister, core.MsgReadReq,
+		&core.RegPayload{RegID: ri.ID, Index: index}, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, lat, err := c.exchange(h, req)
+	lat += SignCost + VerifyCost
+	if err != nil {
+		return 0, lat, err
+	}
+	if len(resp) != 1 {
+		return 0, lat, fmt.Errorf("controller: %s: %d responses to readReq", sw, len(resp))
+	}
+	if err := c.checkResponse(h, req, resp[0]); err != nil {
+		return 0, lat, err
+	}
+	if resp[0].MsgType == core.MsgNAck {
+		return 0, lat, fmt.Errorf("%w: read %s[%d] on %s", ErrNAck, register, index, sw)
+	}
+	value := resp[0].Reg.Value
+	if h.cfg.Encrypt {
+		key, err := h.keys.At(core.KeyIndexLocal, resp[0].KeyVersion)
+		if err != nil {
+			return 0, lat, err
+		}
+		value = core.EncryptResponseValue(h.dig, key, resp[0].SeqNum, value)
+	}
+	return value, lat, nil
+}
+
+// WriteRegister performs an authenticated register write.
+func (c *Controller) WriteRegister(sw, register string, index uint32, value uint64) (time.Duration, error) {
+	h, err := c.handle(sw)
+	if err != nil {
+		return 0, err
+	}
+	ri, err := h.info.RegisterByName(register)
+	if err != nil {
+		return 0, err
+	}
+	if h.cfg.Encrypt {
+		// §XI extension: encrypt-then-MAC — the keystream depends on the
+		// sequence number, which signedMessage assigns, so encrypt after
+		// building the message but before signing. Reserve the seq first.
+		key, ver, kerr := h.keys.Current(core.KeyIndexLocal)
+		if kerr != nil {
+			return 0, kerr
+		}
+		seq := h.seq.Next()
+		m := &core.Message{
+			Header: core.Header{HdrType: core.HdrRegister, MsgType: core.MsgWriteReq, SeqNum: seq, KeyVersion: ver},
+			Reg:    &core.RegPayload{RegID: ri.ID, Index: index, Value: core.EncryptRequestValue(h.dig, key, seq, value)},
+		}
+		if err := m.Sign(h.dig, key); err != nil {
+			return 0, err
+		}
+		return c.finishWrite(h, m, sw, register, index)
+	}
+	req, err := h.signedMessage(core.HdrRegister, core.MsgWriteReq,
+		&core.RegPayload{RegID: ri.ID, Index: index, Value: value}, nil)
+	if err != nil {
+		return 0, err
+	}
+	return c.finishWrite(h, req, sw, register, index)
+}
+
+// finishWrite completes a write exchange and validates the response.
+func (c *Controller) finishWrite(h *swHandle, req *core.Message, sw, register string, index uint32) (time.Duration, error) {
+	resp, lat, err := c.exchange(h, req)
+	lat += SignCost + VerifyCost
+	if err != nil {
+		return lat, err
+	}
+	if len(resp) != 1 {
+		return lat, fmt.Errorf("controller: %s: %d responses to writeReq", sw, len(resp))
+	}
+	if err := c.checkResponse(h, req, resp[0]); err != nil {
+		return lat, err
+	}
+	if resp[0].MsgType == core.MsgNAck {
+		return lat, fmt.Errorf("%w: write %s[%d] on %s", ErrNAck, register, index, sw)
+	}
+	return lat, nil
+}
+
+// ReadRegisterInsecure is the DP-Reg-RW baseline read: same PacketOut
+// path, no digests (requires a switch built with Config.Insecure).
+func (c *Controller) ReadRegisterInsecure(sw, register string, index uint32) (uint64, time.Duration, error) {
+	h, err := c.handle(sw)
+	if err != nil {
+		return 0, 0, err
+	}
+	ri, err := h.info.RegisterByName(register)
+	if err != nil {
+		return 0, 0, err
+	}
+	req := &core.Message{
+		Header: core.Header{HdrType: core.HdrRegister, MsgType: core.MsgReadReq, SeqNum: h.seq.Next()},
+		Reg:    &core.RegPayload{RegID: ri.ID, Index: index},
+	}
+	resp, lat, err := c.exchange(h, req)
+	if err != nil {
+		return 0, lat, err
+	}
+	if len(resp) != 1 || resp[0].MsgType != core.MsgAck {
+		return 0, lat, fmt.Errorf("controller: %s: insecure read failed", sw)
+	}
+	_ = h.seq.Settle(resp[0].SeqNum)
+	return resp[0].Reg.Value, lat, nil
+}
+
+// WriteRegisterInsecure is the DP-Reg-RW baseline write.
+func (c *Controller) WriteRegisterInsecure(sw, register string, index uint32, value uint64) (time.Duration, error) {
+	h, err := c.handle(sw)
+	if err != nil {
+		return 0, err
+	}
+	ri, err := h.info.RegisterByName(register)
+	if err != nil {
+		return 0, err
+	}
+	req := &core.Message{
+		Header: core.Header{HdrType: core.HdrRegister, MsgType: core.MsgWriteReq, SeqNum: h.seq.Next()},
+		Reg:    &core.RegPayload{RegID: ri.ID, Index: index, Value: value},
+	}
+	resp, lat, err := c.exchange(h, req)
+	if err != nil {
+		return lat, err
+	}
+	if len(resp) != 1 || resp[0].MsgType != core.MsgAck {
+		return lat, fmt.Errorf("controller: %s: insecure write failed", sw)
+	}
+	_ = h.seq.Settle(resp[0].SeqNum)
+	return lat, nil
+}
+
+// ReadRegisterAPI is the P4Runtime baseline read: the full API stack
+// (agent, SDK, driver) rather than PacketOut, per §IX-B's first variant.
+func (c *Controller) ReadRegisterAPI(sw, register string, index uint32) (uint64, time.Duration, error) {
+	h, err := c.handle(sw)
+	if err != nil {
+		return 0, 0, err
+	}
+	ri, err := h.info.RegisterByName(register)
+	if err != nil {
+		return 0, 0, err
+	}
+	v, cost, err := h.host.APIRegisterRead(ri.ID, index)
+	return v, cost + 2*h.linkLat, err
+}
+
+// WriteRegisterAPI is the P4Runtime baseline write.
+func (c *Controller) WriteRegisterAPI(sw, register string, index uint32, value uint64) (time.Duration, error) {
+	h, err := c.handle(sw)
+	if err != nil {
+		return 0, err
+	}
+	ri, err := h.info.RegisterByName(register)
+	if err != nil {
+		return 0, err
+	}
+	cost, err := h.host.APIRegisterWrite(ri.ID, index, value)
+	return cost + 2*h.linkLat, err
+}

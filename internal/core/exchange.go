@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"p4auth/internal/crypto"
+)
+
+// SaltPair combines the two 32-bit salt halves into the 64-bit KDF salt
+// (S = S1 || S2, §VI-A/§VI-B with each side contributing one half).
+func SaltPair(s1, s2 uint32) uint64 {
+	return uint64(s1)<<32 | uint64(s2)
+}
+
+// EAK is the initiator side of the Exchange of Authentication Key
+// (Fig. 11): the controller generates S1, receives S2, and derives K_auth
+// from the pre-shared seed.
+type EAK struct {
+	S1  uint32
+	cfg Config
+}
+
+// NewEAK starts an EAK exchange.
+func NewEAK(cfg Config, rng crypto.RandomSource) *EAK {
+	return &EAK{S1: uint32(rng.Uint64()), cfg: cfg}
+}
+
+// Complete derives K_auth from the responder's salt half.
+func (e *EAK) Complete(s2 uint32) (uint64, error) {
+	kdf, err := e.cfg.KDF()
+	if err != nil {
+		return 0, err
+	}
+	return kdf.Derive(e.cfg.Seed, SaltPair(e.S1, s2)), nil
+}
+
+// ADHKD is the initiator side of the authenticated DH exchange and key
+// derivation (Fig. 12): generate (R1, S1), publish PK1, and on (PK2, S2)
+// derive the master secret.
+type ADHKD struct {
+	R1  uint64
+	S1  uint32
+	cfg Config
+}
+
+// NewADHKD starts an ADHKD exchange.
+func NewADHKD(cfg Config, rng crypto.RandomSource) *ADHKD {
+	return &ADHKD{R1: rng.Uint64(), S1: uint32(rng.Uint64()), cfg: cfg}
+}
+
+// PK1 is the initiator's public key.
+func (a *ADHKD) PK1() uint64 { return a.cfg.DH.PublicKey(a.R1) }
+
+// Complete derives the master secret from the responder's public key and
+// salt half.
+func (a *ADHKD) Complete(pk2 uint64, s2 uint32) (uint64, error) {
+	kdf, err := a.cfg.KDF()
+	if err != nil {
+		return 0, err
+	}
+	pms := a.cfg.DH.SharedSecret(a.R1, pk2)
+	return kdf.Derive(pms, SaltPair(a.S1, s2)), nil
+}
+
+// RespondADHKD is the responder side in Go (the data plane implements the
+// same computation in the pipeline; this is used by tests and by software
+// endpoints).
+func RespondADHKD(cfg Config, rng crypto.RandomSource, pk1 uint64, s1 uint32) (pk2 uint64, s2 uint32, key uint64, err error) {
+	kdf, err := cfg.KDF()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	r2 := rng.Uint64()
+	s2 = uint32(rng.Uint64())
+	pk2 = cfg.DH.PublicKey(r2)
+	pms := cfg.DH.SharedSecret(r2, pk1)
+	return pk2, s2, kdf.Derive(pms, SaltPair(s1, s2)), nil
+}
+
+// SeqTracker hands out monotonically increasing sequence numbers and
+// matches responses to outstanding requests (the controller-side half of
+// the replay defence, §VIII).
+type SeqTracker struct {
+	next        uint32
+	outstanding map[uint32]bool
+}
+
+// NewSeqTracker starts sequence numbering at 1 (the data plane's replay
+// register starts at 0 and requires strictly increasing numbers).
+func NewSeqTracker() *SeqTracker {
+	return &SeqTracker{next: 1, outstanding: make(map[uint32]bool)}
+}
+
+// Next reserves and returns the next sequence number.
+func (s *SeqTracker) Next() uint32 {
+	n := s.next
+	s.next++
+	s.outstanding[n] = true
+	return n
+}
+
+// Settle marks a response's sequence number as answered; it returns an
+// error for unknown or duplicate sequence numbers (a replayed or forged
+// response).
+func (s *SeqTracker) Settle(seq uint32) error {
+	if !s.outstanding[seq] {
+		return fmt.Errorf("core: response for unknown or already-settled seq %d", seq)
+	}
+	delete(s.outstanding, seq)
+	return nil
+}
+
+// Outstanding reports how many requests lack responses (the controller's
+// DoS threshold input, §VIII).
+func (s *SeqTracker) Outstanding() int { return len(s.outstanding) }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// KeyStore is the two-version key table used for consistent key updates
+// (§VI-C "Consistent key updates", after [66]): each slot holds an old and
+// a new key; the sender tags messages with the version it signed with, and
+// the receiver validates with the tagged version, so in-flight messages
+// survive a rollover. Slot 0 is the local key; slots 1..N are port keys.
+//
+// The controller holds one KeyStore per switch; the switch data plane's
+// equivalent state lives in the pa_keys_v0/pa_keys_v1/pa_ver registers of
+// the generated program.
+type KeyStore struct {
+	mu    sync.Mutex
+	slots []keySlot
+}
+
+type keySlot struct {
+	v       [2]uint64
+	current uint8
+	set     bool
+}
+
+// NewKeyStore returns a store with slots 0..ports. Slot 0 starts at the
+// seed key, version 0 — matching a freshly booted switch whose key
+// register was loaded from the binary.
+func NewKeyStore(ports int, seed uint64) *KeyStore {
+	ks := &KeyStore{slots: make([]keySlot, ports+1)}
+	ks.slots[KeyIndexLocal].v[0] = seed
+	ks.slots[KeyIndexLocal].set = true
+	return ks
+}
+
+func (ks *KeyStore) check(idx int) error {
+	if idx < 0 || idx >= len(ks.slots) {
+		return fmt.Errorf("core: key slot %d out of range [0,%d)", idx, len(ks.slots))
+	}
+	return nil
+}
+
+// Current returns the active key and its version tag for a slot.
+func (ks *KeyStore) Current(idx int) (key uint64, version uint8, err error) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if err := ks.check(idx); err != nil {
+		return 0, 0, err
+	}
+	s := ks.slots[idx]
+	if !s.set {
+		return 0, 0, fmt.Errorf("core: key slot %d not established", idx)
+	}
+	return s.v[s.current&1], s.current, nil
+}
+
+// At returns the key stored under a specific version tag (for validating
+// messages signed before a rollover).
+func (ks *KeyStore) At(idx int, version uint8) (uint64, error) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if err := ks.check(idx); err != nil {
+		return 0, err
+	}
+	s := ks.slots[idx]
+	if !s.set {
+		return 0, fmt.Errorf("core: key slot %d not established", idx)
+	}
+	return s.v[version&1], nil
+}
+
+// Install stores a new key in the slot's inactive version and makes it
+// current, returning the new version tag.
+func (ks *KeyStore) Install(idx int, key uint64) (uint8, error) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if err := ks.check(idx); err != nil {
+		return 0, err
+	}
+	s := &ks.slots[idx]
+	if s.set {
+		s.current++
+	}
+	s.v[s.current&1] = key
+	s.set = true
+	return s.current, nil
+}
+
+// Established reports whether a slot holds a key.
+func (ks *KeyStore) Established(idx int) bool {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if idx < 0 || idx >= len(ks.slots) {
+		return false
+	}
+	return ks.slots[idx].set
+}
+
+// Slots returns the number of slots (ports + 1).
+func (ks *KeyStore) Slots() int { return len(ks.slots) }

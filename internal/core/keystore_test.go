@@ -1,0 +1,248 @@
+package core
+
+import (
+	"testing"
+
+	"p4auth/internal/crypto"
+)
+
+func TestKeyStoreBootState(t *testing.T) {
+	ks := NewKeyStore(4, 0x5eed)
+	if ks.Slots() != 5 {
+		t.Fatalf("slots = %d, want 5", ks.Slots())
+	}
+	key, ver, err := ks.Current(KeyIndexLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != 0x5eed || ver != 0 {
+		t.Fatalf("boot local key = %#x v%d", key, ver)
+	}
+	for p := 1; p <= 4; p++ {
+		if ks.Established(p) {
+			t.Errorf("port %d key established at boot", p)
+		}
+		if _, _, err := ks.Current(p); err == nil {
+			t.Errorf("port %d Current should fail before install", p)
+		}
+	}
+}
+
+func TestKeyStoreInstallRollsVersions(t *testing.T) {
+	ks := NewKeyStore(2, 1)
+	v, err := ks.Install(KeyIndexLocal, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("first install version = %d, want 1", v)
+	}
+	// Old version still retrievable (consistent updates).
+	old, err := ks.At(KeyIndexLocal, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != 1 {
+		t.Fatalf("old key = %d, want seed 1", old)
+	}
+	cur, ver, _ := ks.Current(KeyIndexLocal)
+	if cur != 100 || ver != 1 {
+		t.Fatalf("current = %d v%d", cur, ver)
+	}
+	// Another install rolls again; version 2 maps to slot 0.
+	if v, _ = ks.Install(KeyIndexLocal, 200); v != 2 {
+		t.Fatalf("second install version = %d, want 2", v)
+	}
+	if k, _ := ks.At(KeyIndexLocal, 2); k != 200 {
+		t.Fatalf("At(2) = %d", k)
+	}
+	if k, _ := ks.At(KeyIndexLocal, 1); k != 100 {
+		t.Fatalf("At(1) = %d (previous version must survive)", k)
+	}
+}
+
+func TestKeyStorePortKeyFirstInstall(t *testing.T) {
+	ks := NewKeyStore(2, 1)
+	v, err := ks.Install(2, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("first port-key install version = %d, want 0", v)
+	}
+	if !ks.Established(2) {
+		t.Fatal("port 2 not established after install")
+	}
+}
+
+func TestKeyStoreBounds(t *testing.T) {
+	ks := NewKeyStore(1, 1)
+	if _, err := ks.Install(9, 1); err == nil {
+		t.Error("expected out-of-range install error")
+	}
+	if _, _, err := ks.Current(-1); err == nil {
+		t.Error("expected out-of-range current error")
+	}
+	if _, err := ks.At(7, 0); err == nil {
+		t.Error("expected out-of-range At error")
+	}
+	if ks.Established(42) {
+		t.Error("out-of-range slot reported established")
+	}
+}
+
+func TestExchangeAgreementGoToGo(t *testing.T) {
+	cfg := DefaultConfig(2, DigestHalfSipHash)
+	init := NewADHKD(cfg, crypto.NewSeededRand(1))
+	pk2, s2, respKey, err := RespondADHKD(cfg, crypto.NewSeededRand(2), init.PK1(), init.S1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initKey, err := init.Complete(pk2, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if initKey != respKey {
+		t.Fatalf("ADHKD disagreement: %#x != %#x", initKey, respKey)
+	}
+}
+
+func TestEAKSymmetry(t *testing.T) {
+	cfg := DefaultConfig(2, DigestCRC32)
+	eak := NewEAK(cfg, crypto.NewSeededRand(3))
+	s2 := uint32(0xBEEF)
+	k1, err := eak.Complete(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The responder derives from the same inputs.
+	kdf, _ := cfg.KDF()
+	k2 := kdf.Derive(cfg.Seed, SaltPair(eak.S1, s2))
+	if k1 != k2 {
+		t.Fatalf("EAK disagreement: %#x != %#x", k1, k2)
+	}
+}
+
+func TestSeqTracker(t *testing.T) {
+	s := NewSeqTracker()
+	a, b := s.Next(), s.Next()
+	if a != 1 || b != 2 {
+		t.Fatalf("seqs = %d,%d", a, b)
+	}
+	if s.Outstanding() != 2 {
+		t.Fatalf("outstanding = %d", s.Outstanding())
+	}
+	if err := s.Settle(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Settle(a); err == nil {
+		t.Fatal("double settle must fail")
+	}
+	if err := s.Settle(99); err == nil {
+		t.Fatal("unknown seq must fail")
+	}
+	if s.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d", s.Outstanding())
+	}
+}
+
+func TestMessageEncodeDecodeRoundtrip(t *testing.T) {
+	msgs := []*Message{
+		{Header: Header{HdrType: HdrRegister, MsgType: MsgWriteReq, SeqNum: 7, KeyVersion: 3, Digest: 0xAA},
+			Reg: &RegPayload{RegID: 1, Index: 2, Value: 3}},
+		{Header: Header{HdrType: HdrAlert, MsgType: AlertReplay, SeqNum: 9},
+			Reg: &RegPayload{}},
+		{Header: Header{HdrType: HdrKeyExch, MsgType: MsgADHKD1, SeqNum: 1, KeyVersion: 1},
+			Kx: &KxPayload{Port: 3, PK: 0xDEADBEEF, Salt: 0x1234, Phase: 0}},
+		{Header: Header{HdrType: HdrFeedback, MsgType: MsgProbe, SeqNum: 2, Digest: 5},
+			Aux: []byte{9, 8, 7}},
+	}
+	for _, m := range msgs {
+		b, err := m.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeMessage(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Header != m.Header {
+			t.Errorf("header mismatch: %+v vs %+v", got.Header, m.Header)
+		}
+		switch {
+		case m.Reg != nil:
+			if got.Reg == nil || *got.Reg != *m.Reg {
+				t.Errorf("reg mismatch: %+v vs %+v", got.Reg, m.Reg)
+			}
+		case m.Kx != nil:
+			if got.Kx == nil || *got.Kx != *m.Kx {
+				t.Errorf("kx mismatch: %+v vs %+v", got.Kx, m.Kx)
+			}
+		case m.Aux != nil:
+			if string(got.Aux) != string(m.Aux) {
+				t.Errorf("aux mismatch")
+			}
+		}
+	}
+}
+
+func TestDecodeMessageErrors(t *testing.T) {
+	if _, err := DecodeMessage(nil); err == nil {
+		t.Error("nil input must fail")
+	}
+	if _, err := DecodeMessage([]byte{0x00, 1, 2}); err == nil {
+		t.Error("wrong ptype must fail")
+	}
+	// Valid ptype, truncated header.
+	if _, err := DecodeMessage([]byte{PTypeP4Auth, 1}); err == nil {
+		t.Error("truncated header must fail")
+	}
+	// Unknown hdrType.
+	m := &Message{Header: Header{HdrType: 99}}
+	b, _ := m.Encode()
+	if _, err := DecodeMessage(b); err == nil {
+		t.Error("unknown hdrType must fail")
+	}
+}
+
+func TestSignVerifyTamperMatrix(t *testing.T) {
+	d := crypto.NewHalfSipHashDigester()
+	const key = 0x1234_5678_9abc_def0
+	base := func() *Message {
+		return &Message{
+			Header: Header{HdrType: HdrRegister, MsgType: MsgWriteReq, SeqNum: 5, KeyVersion: 1},
+			Reg:    &RegPayload{RegID: 10, Index: 2, Value: 99},
+		}
+	}
+	good := base()
+	if err := good.Sign(d, key); err != nil {
+		t.Fatal(err)
+	}
+	if !good.Verify(d, key) {
+		t.Fatal("freshly signed message does not verify")
+	}
+	if good.Verify(d, key^1) {
+		t.Fatal("verifies under the wrong key")
+	}
+
+	tampers := map[string]func(*Message){
+		"msgType":    func(m *Message) { m.MsgType = MsgReadReq },
+		"seqNum":     func(m *Message) { m.SeqNum++ },
+		"keyVersion": func(m *Message) { m.KeyVersion++ },
+		"regID":      func(m *Message) { m.Reg.RegID++ },
+		"index":      func(m *Message) { m.Reg.Index++ },
+		"value":      func(m *Message) { m.Reg.Value = 5 },
+	}
+	for name, mutate := range tampers {
+		t.Run(name, func(t *testing.T) {
+			m := base()
+			if err := m.Sign(d, key); err != nil {
+				t.Fatal(err)
+			}
+			mutate(m)
+			if m.Verify(d, key) {
+				t.Errorf("tampered %s still verifies", name)
+			}
+		})
+	}
+}

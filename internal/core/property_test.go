@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"p4auth/internal/crypto"
+)
+
+// TestMessageRoundtripQuick: any register or key-exchange message survives
+// encode/decode bit-exactly.
+func TestMessageRoundtripQuick(t *testing.T) {
+	regMsg := func(msgType uint8, seq uint32, ver uint8, dig uint32, id, idx uint32, val uint64) bool {
+		m := &Message{
+			Header: Header{HdrType: HdrRegister, MsgType: msgType, SeqNum: seq, KeyVersion: ver, Digest: dig},
+			Reg:    &RegPayload{RegID: id, Index: idx, Value: val},
+		}
+		b, err := m.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeMessage(b)
+		if err != nil {
+			return false
+		}
+		return got.Header == m.Header && *got.Reg == *m.Reg
+	}
+	if err := quick.Check(regMsg, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	kxMsg := func(msgType uint8, seq uint32, ver uint8, port uint16, pk uint64, salt uint32, phase uint8) bool {
+		m := &Message{
+			Header: Header{HdrType: HdrKeyExch, MsgType: msgType, SeqNum: seq, KeyVersion: ver},
+			Kx:     &KxPayload{Port: port, PK: pk, Salt: salt, Phase: phase},
+		}
+		b, err := m.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeMessage(b)
+		if err != nil {
+			return false
+		}
+		return got.Header == m.Header && *got.Kx == *m.Kx
+	}
+	if err := quick.Check(kxMsg, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDigestPhaseExclusionQuick: the kx phase field is recirculation state
+// and must never affect the digest (otherwise the data plane's phase
+// transitions would invalidate in-flight signatures).
+func TestDigestPhaseExclusionQuick(t *testing.T) {
+	d := crypto.NewCRC32Digester()
+	f := func(key uint64, pk uint64, salt uint32, phaseA, phaseB uint8) bool {
+		mk := func(phase uint8) *Message {
+			return &Message{
+				Header: Header{HdrType: HdrKeyExch, MsgType: MsgADHKD1, SeqNum: 1},
+				Kx:     &KxPayload{PK: pk, Salt: salt, Phase: phase},
+			}
+		}
+		a, b := mk(phaseA), mk(phaseB)
+		if err := a.Sign(d, key); err != nil {
+			return false
+		}
+		if err := b.Sign(d, key); err != nil {
+			return false
+		}
+		return a.Digest == b.Digest
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDigestFieldSensitivityQuick: any digest-covered field change flips
+// the digest (with overwhelming probability; CRC32 collisions on a single
+// structured flip would indicate a packing bug, so treat any hit as one).
+func TestDigestFieldSensitivityQuick(t *testing.T) {
+	d := crypto.NewHalfSipHashDigester()
+	f := func(key uint64, id, idx uint32, val uint64, flip uint8) bool {
+		m := &Message{
+			Header: Header{HdrType: HdrRegister, MsgType: MsgWriteReq, SeqNum: 7, KeyVersion: 1},
+			Reg:    &RegPayload{RegID: id, Index: idx, Value: val},
+		}
+		if err := m.Sign(d, key); err != nil {
+			return false
+		}
+		orig := m.Digest
+		switch flip % 5 {
+		case 0:
+			m.Reg.Value ^= 1
+		case 1:
+			m.Reg.Index ^= 1
+		case 2:
+			m.Reg.RegID ^= 1
+		case 3:
+			m.SeqNum ^= 1
+		case 4:
+			m.KeyVersion ^= 1
+		}
+		if err := m.Sign(d, key); err != nil {
+			return false
+		}
+		return m.Digest != orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKeyStoreVersionTagAlwaysResolvesQuick: for any install sequence, the
+// version tag returned by Current always resolves via At to the same key.
+func TestKeyStoreVersionTagAlwaysResolvesQuick(t *testing.T) {
+	f := func(keys []uint64) bool {
+		ks := NewKeyStore(2, 0x5eed)
+		for _, k := range keys {
+			if _, err := ks.Install(KeyIndexLocal, k); err != nil {
+				return false
+			}
+			cur, ver, err := ks.Current(KeyIndexLocal)
+			if err != nil {
+				return false
+			}
+			at, err := ks.At(KeyIndexLocal, ver)
+			if err != nil || at != cur || cur != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDataPlaneDigestMatchesGoSideQuick: the generated pipeline and the
+// Go-side Message.Sign agree on arbitrary register messages. Covered once
+// in the end-to-end tests; here it is hammered with random field values.
+func TestDataPlaneDigestMatchesGoSideQuick(t *testing.T) {
+	e := newEnv(t, nil)
+	latID := e.regID(t, "lat")
+	key, ver, err := e.ks.Current(KeyIndexLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := crypto.NewSeededRand(31)
+	for i := 0; i < 60; i++ {
+		m := &Message{
+			Header: Header{HdrType: HdrRegister, MsgType: MsgWriteReq, SeqNum: e.seq.Next(), KeyVersion: ver},
+			Reg:    &RegPayload{RegID: latID, Index: uint32(rng.Uint64() % 8), Value: rng.Uint64()},
+		}
+		if err := m.Sign(e.dig, key); err != nil {
+			t.Fatal(err)
+		}
+		resp := e.send(t, m)
+		if len(resp) != 1 || resp[0].MsgType != MsgAck {
+			t.Fatalf("iteration %d: pipeline rejected a correctly signed message: %+v", i, resp)
+		}
+		if !resp[0].Verify(e.dig, key) {
+			t.Fatalf("iteration %d: pipeline-signed response fails Go-side verification", i)
+		}
+		if err := e.seq.Settle(resp[0].SeqNum); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"p4auth/internal/crypto"
+	"p4auth/internal/pisa"
+)
+
+// sendOn injects a message on an arbitrary port and returns all emissions.
+func (e *testEnv) sendOn(t *testing.T, port int, m *Message) []pisa.Emission {
+	t.Helper()
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.sw.Process(pisa.Packet{Data: data, Port: port})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Emissions
+}
+
+// A neighbor-port attacker cannot spoof controller exchanges: key-exchange
+// messages arriving on a network port are verified against that PORT's key
+// slot, not the local key, so a forged EAK signed with the (readable)
+// seed key fails.
+func TestNetworkPortCannotSpoofLocalExchange(t *testing.T) {
+	e := newEnv(t, nil)
+	eak := NewEAK(e.cfg, crypto.NewSeededRand(5))
+	m := &Message{
+		Header: Header{HdrType: HdrKeyExch, MsgType: MsgEAKSalt1, SeqNum: 1, KeyVersion: 0},
+		Kx:     &KxPayload{Salt: eak.S1},
+	}
+	if err := m.Sign(e.dig, e.cfg.Seed); err != nil {
+		t.Fatal(err)
+	}
+	ems := e.sendOn(t, 2, m) // network port, not CPU
+	// The port-2 key slot is zero, the seed-signed digest mismatches ->
+	// alert, no response, no key install.
+	for _, em := range ems {
+		if em.Port != pisa.CPUPort {
+			t.Fatalf("spoofed EAK produced a network emission on port %d", em.Port)
+		}
+		r, err := DecodeMessage(em.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.HdrType != HdrAlert {
+			t.Fatalf("spoofed EAK got a %d response, want alert", r.HdrType)
+		}
+	}
+	if v, _ := e.sw.RegisterRead(RegVer, KeyIndexLocal); v != 0 {
+		t.Fatal("spoofed EAK rotated the local key")
+	}
+}
+
+// Register requests from network ports are similarly bound to port keys:
+// a neighbor cannot issue controller reads signed with the seed.
+func TestNetworkPortCannotIssueRegisterOps(t *testing.T) {
+	e := newEnv(t, nil)
+	latID := e.regID(t, "lat")
+	if err := e.sw.RegisterWrite("lat", 0, 77); err != nil {
+		t.Fatal(err)
+	}
+	m := &Message{
+		Header: Header{HdrType: HdrRegister, MsgType: MsgReadReq, SeqNum: 1, KeyVersion: 0},
+		Reg:    &RegPayload{RegID: latID, Index: 0},
+	}
+	if err := m.Sign(e.dig, e.cfg.Seed); err != nil {
+		t.Fatal(err)
+	}
+	ems := e.sendOn(t, 3, m)
+	for _, em := range ems {
+		r, err := DecodeMessage(em.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.HdrType == HdrRegister && r.MsgType == MsgAck {
+			t.Fatal("network port read the register with the seed key")
+		}
+	}
+}
+
+// An unknown key-version tag selects the other version slot; with no key
+// there, verification fails closed.
+func TestUnknownKeyVersionFailsClosed(t *testing.T) {
+	e := newEnv(t, nil)
+	latID := e.regID(t, "lat")
+	m := &Message{
+		Header: Header{HdrType: HdrRegister, MsgType: MsgWriteReq, SeqNum: 1, KeyVersion: 1},
+		Reg:    &RegPayload{RegID: latID, Index: 0, Value: 5},
+	}
+	// Signed with the correct seed key, but tagged version 1 (slot empty).
+	if err := m.Sign(e.dig, e.cfg.Seed); err != nil {
+		t.Fatal(err)
+	}
+	resp := e.send(t, m)
+	if len(resp) != 1 || resp[0].HdrType != HdrAlert {
+		t.Fatalf("version-mismatched message accepted: %+v", resp)
+	}
+	if v, _ := e.sw.RegisterRead("lat", 0); v != 0 {
+		t.Fatal("write applied despite version mismatch")
+	}
+}
+
+// Feedback (probe-style) messages are rejected on ordinary ports unless
+// signed with the port key — and the generator-port bypass does not apply
+// to the CPU port or other ports.
+func TestGeneratorBypassIsPortScoped(t *testing.T) {
+	// Build an env with an aux payload and a generator port. DP-DP
+	// feedback runs on the BMv2 target, as in the paper's HULA prototype
+	// (the egress signing block exceeds Tofino's egress stage budget —
+	// the same pressure §XI discusses).
+	cfg := DefaultConfig(4, DigestHalfSipHash)
+	prog := hostProgram()
+	prog.Headers = append(prog.Headers, &pisa.HeaderDef{
+		Name:   "probe",
+		Fields: []pisa.FieldDef{{Name: "util", Width: 32}},
+	})
+	prog.Parser = append(prog.Parser, pisa.ParserState{Name: "probe_state", Extract: "probe"})
+	prog.DeparseOrder = append(prog.DeparseOrder, "probe")
+	prog.Metadata = append(prog.Metadata, pisa.FieldDef{Name: "probe_seen", Width: 8})
+	prog.Control = []pisa.Op{
+		pisa.If(pisa.Eq(pisa.R(pisa.F(pisa.MetaHeader, MAuthOK)), pisa.C(1)), []pisa.Op{
+			pisa.Set(pisa.F(pisa.MetaHeader, "probe_seen"), pisa.C(1)),
+			pisa.RegWrite("lat", pisa.C(7), pisa.R(pisa.F("probe", "util"))),
+		}),
+	}
+	const genPort = 5
+	if err := AddToProgram(prog, cfg, Integration{
+		Exposed:       []string{"lat"},
+		Aux:           []AuxPayload{{Header: "probe", ParserState: "probe_state"}},
+		GeneratorPort: genPort,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sw, err := pisa.NewSwitch(prog, pisa.BMv2Profile(), pisa.WithRandom(crypto.NewSeededRand(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Boot(sw, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	probeDef := &pisa.HeaderDef{Name: "probe", Fields: []pisa.FieldDef{{Name: "util", Width: 32}}}
+	aux, err := pisa.PackHeader(probeDef, []uint64{0xAB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsigned := &Message{Header: Header{HdrType: HdrFeedback, MsgType: MsgProbe}, Aux: aux}
+	enc, err := unsigned.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Via the generator port: accepted (self-originated).
+	if _, err := sw.Process(pisa.Packet{Data: enc, Port: genPort}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := sw.RegisterRead("lat", 7); v != 0xAB {
+		t.Fatalf("generator-port probe not processed (lat[7]=%d)", v)
+	}
+	if err := sw.RegisterWrite("lat", 7, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Via a normal network port: unsigned probe rejected.
+	if _, err := sw.Process(pisa.Packet{Data: enc, Port: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := sw.RegisterRead("lat", 7); v != 0 {
+		t.Fatal("unsigned probe on a network port updated state")
+	}
+}

@@ -1,0 +1,324 @@
+// Package core implements the P4Auth protocol (DSN 2025): the
+// authentication header and digest rules of §V, the key-management
+// messages of §VI (EAK, ADHKD, KMP), the versioned key store for
+// consistent key rollover, and — most importantly — the P4Auth data-plane
+// program of §VII, built on the internal/pisa substrate so that every
+// check the paper runs in the switch pipeline runs in a modeled pipeline
+// here, under the same operation and resource constraints.
+//
+// Wire format of a P4Auth message:
+//
+//	ptype(1B) | pa_h(11B) | payload
+//
+//	pa_h:    hdrType(8) msgType(8) seqNum(32) keyVersion(8) digest(32)
+//	pa_reg:  regID(32) index(32) value(64)                 (register ops, alerts)
+//	pa_kx:   port(16) pk(64) salt(32) phase(8)             (key exchange)
+//
+// The digest (Eqn. 4) is the keyed hash of the header fields (digest
+// excluded) followed by the payload fields (the internal phase field
+// excluded), packed MSB-first at field width — exactly the bytes a
+// pipeline hash unit consumes, so the controller-side computation in this
+// package and the data-plane computation in the generated program agree
+// bit for bit.
+package core
+
+import (
+	"fmt"
+
+	"p4auth/internal/crypto"
+	"p4auth/internal/pisa"
+)
+
+// PTypeP4Auth is the packet-type tag that routes a packet into the P4Auth
+// parser branch. Host programs reserve the 1-byte ptype header; their own
+// traffic uses other values.
+const PTypeP4Auth = 0xA1
+
+// Header, payload, and internal header names in generated programs.
+const (
+	HdrPType = "ptype"
+	HdrAuth  = "pa_h"
+	HdrReg   = "pa_reg"
+	HdrKx    = "pa_kx"
+	HdrInt   = "pa_int"
+)
+
+// HdrType values (Fig. 7).
+const (
+	// HdrRegister tags register read/write requests and their responses.
+	HdrRegister = 1
+	// HdrAlert tags data-plane alerts to the controller.
+	HdrAlert = 2
+	// HdrKeyExch tags key-management messages.
+	HdrKeyExch = 3
+	// HdrFeedback tags DP-DP in-network feedback (e.g. HULA probes); the
+	// feedback body is a host-program header registered as an auxiliary
+	// digest payload.
+	HdrFeedback = 4
+)
+
+// Register msgType values.
+const (
+	MsgReadReq  = 1
+	MsgWriteReq = 2
+	MsgAck      = 3
+	MsgNAck     = 4
+)
+
+// Key-exchange msgType values.
+const (
+	MsgEAKSalt1       = 1
+	MsgEAKSalt2       = 2
+	MsgADHKD1         = 3
+	MsgADHKD2         = 4
+	MsgPortKeyInit    = 5
+	MsgPortKeyUpdate  = 6
+	MsgKeyAck         = 7
+	MsgLocalKeyUpdate = 8 // controller command preceding a local ADHKD
+)
+
+// Alert msgType values (reasons).
+const (
+	AlertBadDigest = 1
+	AlertReplay    = 2
+)
+
+// Feedback msgType.
+const MsgProbe = 1
+
+// KeyIndexLocal is the key-register slot of the local (controller) key;
+// port keys live at their port number.
+const KeyIndexLocal = 0
+
+// Exchange phase values carried in pa_kx.phase (recirculation state).
+const (
+	PhaseVerify  = 0 // on-the-wire phase: verify and dispatch
+	PhaseInstall = 1 // derive via KDF and install the new key
+	PhaseForward = 2 // sign and forward an initiator ADHKD1
+)
+
+// PTypeHeader returns the shared 1-byte packet-type header definition.
+func PTypeHeader() *pisa.HeaderDef {
+	return &pisa.HeaderDef{Name: HdrPType, Fields: []pisa.FieldDef{{Name: "v", Width: 8}}}
+}
+
+// AuthHeader returns the pa_h definition.
+func AuthHeader() *pisa.HeaderDef {
+	return &pisa.HeaderDef{Name: HdrAuth, Fields: []pisa.FieldDef{
+		{Name: "hdrType", Width: 8},
+		{Name: "msgType", Width: 8},
+		{Name: "seqNum", Width: 32},
+		{Name: "keyVersion", Width: 8},
+		{Name: "digest", Width: 32},
+	}}
+}
+
+// RegPayloadHeader returns the pa_reg definition.
+func RegPayloadHeader() *pisa.HeaderDef {
+	return &pisa.HeaderDef{Name: HdrReg, Fields: []pisa.FieldDef{
+		{Name: "regid", Width: 32},
+		{Name: "index", Width: 32},
+		{Name: "value", Width: 64},
+	}}
+}
+
+// KxPayloadHeader returns the pa_kx definition.
+func KxPayloadHeader() *pisa.HeaderDef {
+	return &pisa.HeaderDef{Name: HdrKx, Fields: []pisa.FieldDef{
+		{Name: "port", Width: 16},
+		{Name: "pk", Width: 64},
+		{Name: "salt", Width: 32},
+		{Name: "phase", Width: 8},
+	}}
+}
+
+// IntHeader returns the recirculation-internal pa_int definition (never on
+// the wire: invalidated before final deparse).
+func IntHeader() *pisa.HeaderDef {
+	return &pisa.HeaderDef{Name: HdrInt, Fields: []pisa.FieldDef{
+		{Name: "newkey", Width: 64},
+		{Name: "s1", Width: 32},
+		{Name: "idx", Width: 16},
+		{Name: "inport", Width: 16},
+		{Name: "resp", Width: 8},
+	}}
+}
+
+// Header is the Go-side pa_h.
+type Header struct {
+	HdrType    uint8
+	MsgType    uint8
+	SeqNum     uint32
+	KeyVersion uint8
+	Digest     uint32
+}
+
+// RegPayload is the Go-side pa_reg.
+type RegPayload struct {
+	RegID uint32
+	Index uint32
+	Value uint64
+}
+
+// KxPayload is the Go-side pa_kx.
+type KxPayload struct {
+	Port  uint16
+	PK    uint64
+	Salt  uint32
+	Phase uint8
+}
+
+// Message is a complete P4Auth message. Exactly one payload pointer should
+// be set, matching HdrType (alerts carry a RegPayload whose Value holds
+// the reason metadata).
+type Message struct {
+	Header
+	Reg *RegPayload
+	Kx  *KxPayload
+	// Aux is an opaque feedback body (HdrFeedback): the host protocol's
+	// header bytes, e.g. a HULA probe. It follows pa_h on the wire.
+	Aux []byte
+}
+
+var (
+	ptypeDef = PTypeHeader()
+	authDef  = AuthHeader()
+	regDef   = RegPayloadHeader()
+	kxDef    = KxPayloadHeader()
+)
+
+// Encode serializes ptype + pa_h + payload.
+func (m *Message) Encode() ([]byte, error) {
+	out, err := pisa.PackHeader(ptypeDef, []uint64{PTypeP4Auth})
+	if err != nil {
+		return nil, err
+	}
+	h, err := pisa.PackHeader(authDef, []uint64{
+		uint64(m.HdrType), uint64(m.MsgType), uint64(m.SeqNum), uint64(m.KeyVersion), uint64(m.Digest),
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, h...)
+	switch {
+	case m.Reg != nil:
+		p, err := pisa.PackHeader(regDef, []uint64{uint64(m.Reg.RegID), uint64(m.Reg.Index), m.Reg.Value})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p...)
+	case m.Kx != nil:
+		p, err := pisa.PackHeader(kxDef, []uint64{uint64(m.Kx.Port), m.Kx.PK, uint64(m.Kx.Salt), uint64(m.Kx.Phase)})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p...)
+	case m.Aux != nil:
+		out = append(out, m.Aux...)
+	}
+	return out, nil
+}
+
+// DecodeMessage parses a P4Auth message from the wire.
+func DecodeMessage(data []byte) (*Message, error) {
+	pt, err := pisa.UnpackHeader(ptypeDef, data)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if pt[0] != PTypeP4Auth {
+		return nil, fmt.Errorf("core: ptype %#x is not a P4Auth message", pt[0])
+	}
+	data = data[ptypeDef.Bytes():]
+	hv, err := pisa.UnpackHeader(authDef, data)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	data = data[authDef.Bytes():]
+	m := &Message{Header: Header{
+		HdrType:    uint8(hv[0]),
+		MsgType:    uint8(hv[1]),
+		SeqNum:     uint32(hv[2]),
+		KeyVersion: uint8(hv[3]),
+		Digest:     uint32(hv[4]),
+	}}
+	switch m.HdrType {
+	case HdrRegister, HdrAlert:
+		rv, err := pisa.UnpackHeader(regDef, data)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		m.Reg = &RegPayload{RegID: uint32(rv[0]), Index: uint32(rv[1]), Value: rv[2]}
+	case HdrKeyExch:
+		kv, err := pisa.UnpackHeader(kxDef, data)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		m.Kx = &KxPayload{Port: uint16(kv[0]), PK: kv[1], Salt: uint32(kv[2]), Phase: uint8(kv[3])}
+	case HdrFeedback:
+		m.Aux = append([]byte(nil), data...)
+	default:
+		return nil, fmt.Errorf("core: unknown hdrType %d", m.HdrType)
+	}
+	return m, nil
+}
+
+// digestHdrDef packs the digest-covered header fields (digest excluded).
+var digestHdrDef = &pisa.HeaderDef{Name: "dig_h", Fields: []pisa.FieldDef{
+	{Name: "hdrType", Width: 8},
+	{Name: "msgType", Width: 8},
+	{Name: "seqNum", Width: 32},
+	{Name: "keyVersion", Width: 8},
+}}
+
+// digestRegDef and digestKxDef pack the digest-covered payload fields
+// (phase excluded for kx).
+var (
+	digestRegDef = &pisa.HeaderDef{Name: "dig_reg", Fields: regDef.Fields}
+	digestKxDef  = &pisa.HeaderDef{Name: "dig_kx", Fields: kxDef.Fields[:3]}
+)
+
+// DigestInput returns the exact bytes the digest is computed over.
+func (m *Message) DigestInput() ([]byte, error) {
+	out, err := pisa.PackHeader(digestHdrDef, []uint64{
+		uint64(m.HdrType), uint64(m.MsgType), uint64(m.SeqNum), uint64(m.KeyVersion),
+	})
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case m.Reg != nil:
+		p, err := pisa.PackHeader(digestRegDef, []uint64{uint64(m.Reg.RegID), uint64(m.Reg.Index), m.Reg.Value})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p...)
+	case m.Kx != nil:
+		p, err := pisa.PackHeader(digestKxDef, []uint64{uint64(m.Kx.Port), m.Kx.PK, uint64(m.Kx.Salt)})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p...)
+	case m.Aux != nil:
+		out = append(out, m.Aux...)
+	}
+	return out, nil
+}
+
+// Sign computes and sets the digest under key.
+func (m *Message) Sign(d crypto.PRF32, key uint64) error {
+	in, err := m.DigestInput()
+	if err != nil {
+		return err
+	}
+	m.Digest = d.Sum32(key, in)
+	return nil
+}
+
+// Verify recomputes the digest under key and compares in constant time.
+func (m *Message) Verify(d crypto.PRF32, key uint64) bool {
+	in, err := m.DigestInput()
+	if err != nil {
+		return false
+	}
+	return crypto.Verify(d, key, in, m.Digest)
+}

@@ -1,0 +1,41 @@
+package crypto
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// KeyedCRC32 is the keyed pseudo-random function used on the Tofino target,
+// where the pipeline's hash distribution units natively compute CRC32. The
+// key is folded into the stream as an envelope (key || data || key), the
+// standard way to key an unkeyed checksum on hardware that cannot change
+// the polynomial per packet.
+//
+// CRC32 is linear and therefore not a cryptographic MAC; the paper accepts
+// this trade-off on Tofino (§VII) and strengthens the derived key material
+// through the KDF. We reproduce the same choice and document it.
+type KeyedCRC32 struct {
+	table *crc32.Table
+}
+
+// NewKeyedCRC32 returns a keyed CRC32 PRF over the IEEE polynomial, the
+// polynomial Tofino's hash units expose by default.
+func NewKeyedCRC32() KeyedCRC32 {
+	return KeyedCRC32{table: crc32.MakeTable(crc32.IEEE)}
+}
+
+// NewKeyedCRC32Castagnoli returns the PRF over the Castagnoli polynomial,
+// the common alternate polynomial on Tofino hash units.
+func NewKeyedCRC32Castagnoli() KeyedCRC32 {
+	return KeyedCRC32{table: crc32.MakeTable(crc32.Castagnoli)}
+}
+
+// Sum32 computes CRC32(key_le || data || key_le) under the configured
+// polynomial.
+func (k KeyedCRC32) Sum32(key uint64, data []byte) uint32 {
+	var kb [8]byte
+	binary.LittleEndian.PutUint64(kb[:], key)
+	c := crc32.Update(0, k.table, kb[:])
+	c = crc32.Update(c, k.table, data)
+	return crc32.Update(c, k.table, kb[:])
+}

@@ -1,0 +1,51 @@
+package crypto
+
+// Modified Diffie-Hellman exchange (paper Fig. 10, from DH-AES-P4 [25] and
+// Jeon & Gil [34]). Exponentiation and modular reduction are replaced with
+// AND and XOR so the exchange runs in a single PISA pipeline pass:
+//
+//	PK  = DH'(P, G, R)  = (G AND R) XOR (P AND R)
+//	K   = DH''(P, R, PK) = (PK AND R) XOR P
+//
+// Both sides derive the same pre-master secret because AND distributes over
+// XOR: PK = (G XOR P) AND R, so
+//
+//	K_A = ((G XOR P) AND R2 AND R1) XOR P = K_B.
+//
+// KNOWN WEAKNESS (reproduced as specified): a passive observer of both
+// public keys can compute (PK1 AND PK2) XOR P = K_pms directly, because
+// PK1 AND PK2 = (G XOR P) AND R1 AND R2. The paper's confidentiality
+// argument therefore rests on the KDF's secret personalization (§VIII
+// "custom logic in the binary, kept secret") and on periodic key rollover,
+// not on the hardness of this exchange. See TestModDHPassiveRecovery for
+// the demonstration, and KDF.Personalization for the compensating control.
+
+// DHParams holds the public parameters of the modified Diffie-Hellman
+// exchange: a prime P and a generator G. With AND/XOR arithmetic neither
+// needs number-theoretic structure, but we keep the paper's nomenclature.
+type DHParams struct {
+	P uint64 // "prime" public parameter
+	G uint64 // "generator" public parameter
+}
+
+// DefaultDHParams are the fixed parameters compiled into every P4Auth
+// binary. Any values with high Hamming weight in G XOR P work; these keep
+// all 64 positions usable ((G XOR P) has all bits set, so no key bit is
+// structurally forced to zero).
+func DefaultDHParams() DHParams {
+	return DHParams{
+		P: 0x9e3779b97f4a7c15, // 2^64/phi, an arbitrary odd public constant
+		G: ^uint64(0x9e3779b97f4a7c15),
+	}
+}
+
+// PublicKey computes DH'(P, G, R) for the private random secret r.
+func (p DHParams) PublicKey(r uint64) uint64 {
+	return (p.G & r) ^ (p.P & r)
+}
+
+// SharedSecret computes DH”(P, R, PK): the pre-master secret from our
+// private secret r and the peer's public key pk.
+func (p DHParams) SharedSecret(r, pk uint64) uint64 {
+	return (pk & r) ^ p.P
+}

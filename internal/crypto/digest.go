@@ -1,0 +1,74 @@
+package crypto
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+)
+
+// Digester computes the keyed 32-bit message digest P4Auth tags every
+// protected message with (Eqn. 4). Implementations must be deterministic
+// and usable concurrently.
+type Digester interface {
+	PRF32
+	// Name identifies the algorithm in reports and p4info.
+	Name() string
+}
+
+// Verify recomputes the digest of data under key and compares it with got
+// in constant time.
+func Verify(d PRF32, key uint64, data []byte, got uint32) bool {
+	var a, b [4]byte
+	binary.BigEndian.PutUint32(a[:], d.Sum32(key, data))
+	binary.BigEndian.PutUint32(b[:], got)
+	return subtle.ConstantTimeCompare(a[:], b[:]) == 1
+}
+
+// HalfSipHashDigester is the BMv2-target digest algorithm (compute_digest
+// extern, §VII).
+type HalfSipHashDigester struct{ HalfSipHash }
+
+// NewHalfSipHashDigester returns the HalfSipHash-2-4 digester.
+func NewHalfSipHashDigester() HalfSipHashDigester {
+	return HalfSipHashDigester{NewHalfSipHash24()}
+}
+
+// Name implements Digester.
+func (HalfSipHashDigester) Name() string { return "halfsiphash-2-4" }
+
+// CRC32Digester is the Tofino-target digest algorithm (§VII): the hash
+// distribution units natively compute CRC32.
+type CRC32Digester struct{ KeyedCRC32 }
+
+// NewCRC32Digester returns the keyed-CRC32 digester.
+func NewCRC32Digester() CRC32Digester {
+	return CRC32Digester{NewKeyedCRC32()}
+}
+
+// Name implements Digester.
+func (CRC32Digester) Name() string { return "keyed-crc32" }
+
+// SHA256Digester is a control-plane-grade comparison point used by the
+// digest ablation: SHA-256 truncated to 32 bits. It is NOT implementable in
+// a PISA pipeline (per-packet message schedule needs loops and 32 rounds of
+// adds over 64 words); it exists to quantify what the paper gives up.
+type SHA256Digester struct{}
+
+// Name implements Digester.
+func (SHA256Digester) Name() string { return "sha256-trunc32" }
+
+// Sum32 computes the first 4 bytes of SHA-256(key_le || data).
+func (SHA256Digester) Sum32(key uint64, data []byte) uint32 {
+	h := sha256.New()
+	var kb [8]byte
+	binary.LittleEndian.PutUint64(kb[:], key)
+	h.Write(kb[:])
+	h.Write(data)
+	return binary.BigEndian.Uint32(h.Sum(nil)[:4])
+}
+
+var (
+	_ Digester = HalfSipHashDigester{}
+	_ Digester = CRC32Digester{}
+	_ Digester = SHA256Digester{}
+)

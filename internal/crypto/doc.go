@@ -1,0 +1,13 @@
+// Package crypto implements the data-plane-feasible cryptographic
+// primitives used by P4Auth: HalfSipHash-2-4 keyed hashing, a keyed CRC32
+// pseudo-random function, the modified Diffie-Hellman exchange (AND/XOR
+// only), and the TLS-1.3-inspired Extract-and-Expand key derivation
+// function.
+//
+// Every primitive in this package is restricted to operations a PISA
+// pipeline can execute per packet: 32-bit additions, XOR, AND, OR, shifts
+// and rotations, plus table-driven CRC. There are no multiplications,
+// divisions, modular reductions, or data-dependent loops in the per-message
+// paths; bounded loops present in Go source correspond to unrolled pipeline
+// stages in the P4 realization (see internal/pisa).
+package crypto

@@ -1,0 +1,145 @@
+package flowradar
+
+import (
+	"testing"
+
+	"p4auth/internal/crypto"
+)
+
+// load records a deterministic workload: flows 1..n with flow f sending
+// (f%13)+1 packets. Returns the ground truth.
+func load(t *testing.T, s *System, n int) map[uint32]uint32 {
+	t.Helper()
+	truth := make(map[uint32]uint32, n)
+	for f := uint32(1); f <= uint32(n); f++ {
+		pkts := f%13 + 1
+		truth[f] = pkts
+		for i := uint32(0); i < pkts; i++ {
+			if err := s.Packet(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return truth
+}
+
+func TestDecodeRecoversExactCounts(t *testing.T) {
+	s, err := New(DefaultParams(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := load(t, s, 200)
+	decoded, err := s.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(truth) {
+		t.Fatalf("decoded %d flows, want %d", len(decoded), len(truth))
+	}
+	for f, want := range truth {
+		if decoded[f] != want {
+			t.Errorf("flow %d: decoded %d, want %d", f, decoded[f], want)
+		}
+	}
+	if s.TamperedReads != 0 {
+		t.Errorf("clean decode flagged %d reads", s.TamperedReads)
+	}
+}
+
+func TestInterleavedArrivalsStillDecode(t *testing.T) {
+	s, err := New(DefaultParams(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Packets interleave across flows (first-packet detection must be
+	// order-independent).
+	rng := crypto.NewSeededRand(5)
+	truth := make(map[uint32]uint32)
+	for i := 0; i < 800; i++ {
+		f := uint32(rng.Uint64()%100) + 1
+		truth[f]++
+		if err := s.Packet(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	decoded, err := s.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, want := range truth {
+		if decoded[f] != want {
+			t.Errorf("flow %d: decoded %d, want %d", f, decoded[f], want)
+		}
+	}
+}
+
+func TestExportDeflaterPoisonsDecodeWithoutP4Auth(t *testing.T) {
+	s, err := New(DefaultParams(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := load(t, s, 150)
+	if err := s.InstallExportDeflater(); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := s.Decode()
+	// Either the peel fails outright (corrupted counts go inconsistent) or
+	// the counts are wrong — both are poisoned analyses.
+	if err == nil {
+		wrong := 0
+		for f, want := range truth {
+			if decoded[f] != want {
+				wrong++
+			}
+		}
+		if wrong < len(truth)/2 {
+			t.Fatalf("only %d/%d flows mis-decoded; attack ineffective", wrong, len(truth))
+		}
+	}
+	if s.TamperedReads != 0 {
+		t.Error("unprotected system claimed detection")
+	}
+}
+
+func TestP4AuthFallsBackToDriverExport(t *testing.T) {
+	s, err := New(DefaultParams(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := load(t, s, 150)
+	if err := s.InstallExportDeflater(); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := s.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TamperedReads == 0 {
+		t.Fatal("tampered export not detected")
+	}
+	for f, want := range truth {
+		if decoded[f] != want {
+			t.Errorf("flow %d: decoded %d, want %d", f, decoded[f], want)
+		}
+	}
+	if len(s.Ctrl.Alerts()) == 0 {
+		t.Error("no alerts recorded")
+	}
+}
+
+func TestOverloadReportsIncompleteDecode(t *testing.T) {
+	p := DefaultParams(true)
+	p.Cells = 64 // far too small for 300 flows
+	s, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := uint32(1); f <= 300; f++ {
+		if err := s.Packet(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Decode(); err == nil {
+		t.Fatal("overloaded table should fail to fully decode")
+	}
+}

@@ -1,0 +1,278 @@
+package hula
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"p4auth/internal/controller"
+	"p4auth/internal/core"
+	"p4auth/internal/crypto"
+	"p4auth/internal/netsim"
+)
+
+// Network is a deployed HULA fabric over the simulator.
+type Network struct {
+	Net      *netsim.Network
+	Switches map[string]*Switch
+	Ctrl     *controller.Controller
+	Secure   bool
+	// DstDelivered counts data packets arriving at the destination host.
+	DstDelivered uint64
+}
+
+// NewFig3Network builds the paper's Fig. 3 topology: S1 reaches S5 over
+// three two-hop paths via S2, S3, and S4. Data flows S1 -> S5; probes
+// originate at S5 and flood toward S1. Port map per switch: see the paper
+// figure; hosts hang off port 4 of S1 and S5.
+//
+//	S1 --(p1)-- S2 --(p2)-- S5(p1)
+//	S1 --(p2)-- S3 --(p2)-- S5(p2)
+//	S1 --(p3)-- S4 --(p2)-- S5(p3)
+func NewFig3Network(secure bool, linkBandwidthBps float64, linkDelay time.Duration) (*Network, error) {
+	n := &Network{
+		Net:      netsim.NewNetwork(),
+		Switches: make(map[string]*Switch),
+		Ctrl:     controller.New(crypto.NewSeededRand(0xF16_3)),
+		Secure:   secure,
+	}
+	for id := 1; id <= 5; id++ {
+		name := fmt.Sprintf("s%d", id)
+		p := DefaultParams(id, 4)
+		p.Secure = secure
+		sw, err := NewSwitch(name, p, uint64(0xCAFE+id))
+		if err != nil {
+			return nil, err
+		}
+		n.Switches[name] = sw
+		n.Net.AddNode(name, sw.Node)
+		if err := n.Ctrl.Register(name, sw.Host, sw.Cfg, 50*time.Microsecond); err != nil {
+			return nil, err
+		}
+	}
+	n.Net.AddNode("src", nil)
+	n.Net.AddNode("dst", netsim.HandlerFunc(func(_ *netsim.Network, _ *netsim.Node, _ int, _ []byte) {
+		n.DstDelivered++
+	}))
+
+	links := []struct {
+		a  string
+		pa int
+		b  string
+		pb int
+	}{
+		{"s1", 1, "s2", 1},
+		{"s1", 2, "s3", 1},
+		{"s1", 3, "s4", 1},
+		{"s2", 2, "s5", 1},
+		{"s3", 2, "s5", 2},
+		{"s4", 2, "s5", 3},
+	}
+	for _, l := range links {
+		n.Net.MustConnect(l.a, l.pa, l.b, l.pb, linkDelay, linkBandwidthBps)
+		if err := n.Ctrl.ConnectSwitches(l.a, l.pa, l.b, l.pb, linkDelay); err != nil {
+			return nil, err
+		}
+	}
+	n.Net.MustConnect("s1", 4, "src", 1, linkDelay, 0)
+	n.Net.MustConnect("s5", 4, "dst", 1, linkDelay, 0)
+
+	// Probe replication, both directions: each ToR originates via its
+	// generator port; middle switches relay across; ToRs consume arriving
+	// probes.
+	s5 := n.Switches["s5"]
+	if err := s5.SetProbeFlood(s5.Params.GeneratorPort, []int{1, 2, 3}); err != nil {
+		return nil, err
+	}
+	s1 := n.Switches["s1"]
+	if err := s1.SetProbeFlood(s1.Params.GeneratorPort, []int{1, 2, 3}); err != nil {
+		return nil, err
+	}
+	for _, mid := range []string{"s2", "s3", "s4"} {
+		if err := n.Switches[mid].SetProbeFlood(2, []int{1}); err != nil {
+			return nil, err
+		}
+		if err := n.Switches[mid].SetProbeFlood(1, []int{2}); err != nil {
+			return nil, err
+		}
+	}
+	for port := 1; port <= 3; port++ {
+		if err := n.Switches["s1"].SetProbeFlood(port, nil); err != nil {
+			return nil, err
+		}
+		if err := n.Switches["s5"].SetProbeFlood(port, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	if secure {
+		if _, err := n.Ctrl.InitAllKeys(); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// NewChainNetwork builds a linear chain s1 - s2 - ... - sN (Fig. 21's
+// multi-hop probe traversal). Probes originate at sN (dst = N) and travel
+// to s1; each hop has port 1 toward s1's side and port 2 toward sN's side.
+func NewChainNetwork(hops int, secure bool, linkDelay time.Duration) (*Network, error) {
+	if hops < 2 {
+		return nil, fmt.Errorf("hula: chain needs at least 2 switches, got %d", hops)
+	}
+	n := &Network{
+		Net:      netsim.NewNetwork(),
+		Switches: make(map[string]*Switch),
+		Ctrl:     controller.New(crypto.NewSeededRand(0xC4A1)),
+		Secure:   secure,
+	}
+	for id := 1; id <= hops; id++ {
+		name := fmt.Sprintf("s%d", id)
+		p := DefaultParams(id, 2)
+		p.Secure = secure
+		sw, err := NewSwitch(name, p, uint64(0xBEEF+id))
+		if err != nil {
+			return nil, err
+		}
+		n.Switches[name] = sw
+		n.Net.AddNode(name, sw.Node)
+		if err := n.Ctrl.Register(name, sw.Host, sw.Cfg, 50*time.Microsecond); err != nil {
+			return nil, err
+		}
+	}
+	for id := 1; id < hops; id++ {
+		a, b := fmt.Sprintf("s%d", id), fmt.Sprintf("s%d", id+1)
+		n.Net.MustConnect(a, 2, b, 1, linkDelay, 0)
+		if err := n.Ctrl.ConnectSwitches(a, 2, b, 1, linkDelay); err != nil {
+			return nil, err
+		}
+	}
+	// Probes: sN's generator floods to port 1 (toward s1); intermediate
+	// switches relay port 2 -> port 1; s1 consumes.
+	last := n.Switches[fmt.Sprintf("s%d", hops)]
+	if err := last.SetProbeFlood(last.Params.GeneratorPort, []int{1}); err != nil {
+		return nil, err
+	}
+	for id := 2; id < hops; id++ {
+		if err := n.Switches[fmt.Sprintf("s%d", id)].SetProbeFlood(2, []int{1}); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.Switches["s1"].SetProbeFlood(2, nil); err != nil {
+		return nil, err
+	}
+	if secure {
+		if _, err := n.Ctrl.InitAllKeys(); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// InjectProbe originates one probe at the named switch's generator port
+// for destination dst, at the current virtual time.
+func (n *Network) InjectProbe(sw string, dst uint16) error {
+	s, ok := n.Switches[sw]
+	if !ok {
+		return fmt.Errorf("hula: unknown switch %q", sw)
+	}
+	pkt, err := ProbePacket(dst, n.Secure)
+	if err != nil {
+		return err
+	}
+	s.Node.Inject(n.Net, n.Net.Node(sw), s.Params.GeneratorPort, pkt)
+	return nil
+}
+
+// ScheduleProbes schedules periodic probe origination from sw for dst.
+func (n *Network) ScheduleProbes(sw string, dst uint16, period, until time.Duration) {
+	var tick func()
+	next := period
+	tick = func() {
+		_ = n.InjectProbe(sw, dst)
+		next += period
+		if next <= until {
+			n.Net.Sim.At(next, tick)
+		}
+	}
+	n.Net.Sim.At(period, tick)
+}
+
+// SendData injects one data packet at the source switch's host port.
+func (n *Network) SendData(sw string, dst uint16, flow uint32, size int) error {
+	s, ok := n.Switches[sw]
+	if !ok {
+		return fmt.Errorf("hula: unknown switch %q", sw)
+	}
+	pkt, err := DataPacket(dst, flow, size)
+	if err != nil {
+		return err
+	}
+	s.Node.Inject(n.Net, n.Net.Node(sw), s.Params.HostPort, pkt)
+	return nil
+}
+
+// PathShares reports the fraction of data bytes S1 pushed onto each of
+// its uplinks (the Fig. 16/17 metric).
+func (n *Network) PathShares(from string, peers []string) (map[string]float64, error) {
+	total := uint64(0)
+	bytes := make(map[string]uint64, len(peers))
+	for _, p := range peers {
+		l := n.Net.LinkBetween(from, p)
+		if l == nil {
+			return nil, fmt.Errorf("hula: no link %s-%s", from, p)
+		}
+		b, _, err := l.TxStats(from)
+		if err != nil {
+			return nil, err
+		}
+		bytes[p] = b
+		total += b
+	}
+	shares := make(map[string]float64, len(peers))
+	for p, b := range bytes {
+		if total == 0 {
+			shares[p] = 0
+			continue
+		}
+		shares[p] = float64(b) / float64(total)
+	}
+	return shares, nil
+}
+
+// ForgeUtilTap returns a link tap that rewrites the probe utilization
+// field to `forged`, handling both the authenticated and the bare probe
+// framing (the paper's Fig. 3 MitM).
+func ForgeUtilTap(secure bool, forged uint32) netsim.Tap {
+	return func(data []byte) []byte {
+		if secure {
+			m, err := core.DecodeMessage(data)
+			if err != nil || m.HdrType != core.HdrFeedback || len(m.Aux) < ProbeUtilOffset+4 {
+				return data
+			}
+			binary.BigEndian.PutUint32(m.Aux[ProbeUtilOffset:], forged)
+			out, err := m.Encode()
+			if err != nil {
+				return data
+			}
+			return out
+		}
+		if len(data) < 1 || data[0] != PTypeInsecureProbe {
+			return data
+		}
+		if len(data) < 1+ProbeUtilOffset+4 {
+			return data
+		}
+		binary.BigEndian.PutUint32(data[1+ProbeUtilOffset:], forged)
+		return data
+	}
+}
+
+// TotalAlerts sums P4Auth alerts across the fabric.
+func (n *Network) TotalAlerts() int {
+	total := 0
+	for _, s := range n.Switches {
+		total += s.Alerts
+	}
+	return total
+}

@@ -1,0 +1,156 @@
+package netcache
+
+import (
+	"testing"
+)
+
+const keySpace = 64
+
+// zipfQueries issues n queries with key k drawn proportional to 1/(k+1).
+func zipfQueries(t *testing.T, s *System, n int) {
+	t.Helper()
+	// Deterministic round-robin expansion of the Zipf weights.
+	for i := 0; i < n; {
+		for k := uint32(0); k < keySpace && i < n; k++ {
+			reps := keySpace / (int(k) + 1)
+			for r := 0; r < reps && i < n; r++ {
+				if _, err := s.Query(k); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			}
+		}
+	}
+}
+
+func candidates() []uint32 {
+	// The controller's candidate set, deliberately ordered cold-first so a
+	// tie after tampering favors the attacker.
+	out := make([]uint32, keySpace)
+	for i := range out {
+		out[i] = uint32(keySpace - 1 - i)
+	}
+	return out
+}
+
+// runScenario: warm stats -> clean epoch -> (maybe attack) -> stats ->
+// second epoch -> measure hit rate over a final query phase.
+func runScenario(t *testing.T, secure, attacked bool) (*System, float64) {
+	t.Helper()
+	s, err := New(DefaultParams(secure))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipfQueries(t, s, 1500)
+	if err := s.UpdateEpoch(candidates()); err != nil {
+		t.Fatal(err)
+	}
+	if attacked {
+		if err := s.InstallStatDeflater(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	zipfQueries(t, s, 1500)
+	if err := s.UpdateEpoch(candidates()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ResetCounters(); err != nil {
+		t.Fatal(err)
+	}
+	zipfQueries(t, s, 1500)
+	rate, err := s.HitRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, rate
+}
+
+func TestCleanCacheServesHotKeys(t *testing.T) {
+	s, rate := runScenario(t, true, false)
+	if rate < 0.45 {
+		t.Fatalf("clean hit rate %.2f, want the hot-key majority", rate)
+	}
+	if s.Epochs != 2 || s.SkippedEpochs != 0 {
+		t.Errorf("epochs=%d skipped=%d", s.Epochs, s.SkippedEpochs)
+	}
+	// The hottest key must be cached.
+	if _, ok := s.cached[0]; !ok {
+		t.Error("key 0 (hottest) not cached")
+	}
+}
+
+func TestAttackEvictsHotKeysWithoutP4Auth(t *testing.T) {
+	_, clean := runScenario(t, false, false)
+	_, attacked := runScenario(t, false, true)
+	if attacked > clean/2 {
+		t.Fatalf("attacked hit rate %.2f vs clean %.2f: attack ineffective", attacked, clean)
+	}
+}
+
+func TestP4AuthPreservesCacheUnderAttack(t *testing.T) {
+	s, rate := runScenario(t, true, true)
+	if s.SkippedEpochs == 0 {
+		t.Fatal("no epochs skipped — tampering undetected")
+	}
+	// The first (clean) epoch's cache contents survive; the hit rate stays
+	// near the clean level.
+	if rate < 0.45 {
+		t.Fatalf("protected hit rate %.2f collapsed", rate)
+	}
+	if len(s.Ctrl.Alerts()) == 0 {
+		t.Error("no alerts recorded")
+	}
+}
+
+func TestPipelineHitMissCountsConsistent(t *testing.T) {
+	s, err := New(DefaultParams(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing cached: all misses.
+	for k := uint32(0); k < 10; k++ {
+		hit, err := s.Query(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit {
+			t.Fatalf("key %d hit with an empty cache", k)
+		}
+	}
+	if r, _ := s.HitRate(); r != 0 {
+		t.Fatalf("hit rate %.2f with empty cache", r)
+	}
+	// Sketch counted each key once (pipeline CMS agrees with the mirror).
+	for k := uint32(0); k < 10; k++ {
+		est, err := s.Mirror.Estimate(s.Host.SW, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est < 1 {
+			t.Errorf("key %d estimate %d, want >=1", k, est)
+		}
+	}
+}
+
+func TestEstimateOverCDPMatchesDriver(t *testing.T) {
+	s, err := New(DefaultParams(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := s.Query(42); err != nil {
+			t.Fatal(err)
+		}
+	}
+	viaCDP, err := s.readEstimate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaDriver, err := s.Mirror.Estimate(s.Host.SW, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaCDP != viaDriver || viaCDP < 7 {
+		t.Fatalf("C-DP estimate %d, driver %d, true 7", viaCDP, viaDriver)
+	}
+}

@@ -1,0 +1,65 @@
+package netsim
+
+// Fault injection: deterministic packet loss and bit corruption built as
+// link taps, for exercising protocol behaviour under unreliable links
+// (KMP response loss, probe loss, garbled feedback).
+
+// LossTap drops every packet whose deterministic per-packet draw falls
+// below rate (0 = never, 1 = always). The stream is reproducible from the
+// seed.
+func LossTap(rate float64, seed uint64) Tap {
+	state := seed
+	return func(data []byte) []byte {
+		state = splitmix(state)
+		draw := float64(state>>11) / float64(1<<53)
+		if draw < rate {
+			return nil
+		}
+		return data
+	}
+}
+
+// CorruptTap flips one deterministic bit in every Nth packet (n <= 1
+// corrupts every packet).
+func CorruptTap(n int, seed uint64) Tap {
+	if n < 1 {
+		n = 1
+	}
+	count := 0
+	state := seed
+	return func(data []byte) []byte {
+		count++
+		if count%n != 0 || len(data) == 0 {
+			return data
+		}
+		state = splitmix(state)
+		byteIdx := int(state % uint64(len(data)))
+		bit := byte(1) << ((state >> 8) % 8)
+		data[byteIdx] ^= bit
+		return data
+	}
+}
+
+// ChainTaps composes taps left to right; a nil result short-circuits.
+func ChainTaps(taps ...Tap) Tap {
+	return func(data []byte) []byte {
+		for _, t := range taps {
+			if t == nil {
+				continue
+			}
+			data = t(data)
+			if data == nil {
+				return nil
+			}
+		}
+		return data
+	}
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

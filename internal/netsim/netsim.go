@@ -1,0 +1,346 @@
+// Package netsim is a deterministic virtual-time network simulator: an
+// event queue, nodes, and duplex links with propagation delay, bandwidth
+// (serialization + queueing), utilization accounting, and per-direction
+// taps where a man-in-the-middle can observe, rewrite, or drop packets in
+// flight.
+//
+// The simulator replaces the paper's physical testbed links; a link tap
+// gives an adversary exactly the capability of the paper's on-link MitM
+// (§II-A): it sees the bytes a switch put on the wire and decides what the
+// next switch receives.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Sim is a discrete-event simulator. The zero value is not usable; call
+// NewSim.
+type Sim struct {
+	now time.Duration
+	pq  eventHeap
+	seq uint64
+}
+
+// NewSim returns an empty simulator at virtual time zero.
+func NewSim() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (s *Sim) At(t time.Duration, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.pq, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d after the current virtual time.
+func (s *Sim) After(d time.Duration, fn func()) {
+	s.At(s.now+d, fn)
+}
+
+// Step executes the next event; it reports false when the queue is empty.
+func (s *Sim) Step() bool {
+	if s.pq.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.pq).(*event)
+	s.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run drains the event queue.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to t.
+func (s *Sim) RunUntil(t time.Duration) {
+	for s.pq.Len() > 0 && s.pq[0].at <= t {
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Handler consumes packets delivered to a node.
+type Handler interface {
+	// HandlePacket is invoked at delivery time; port is the receiving
+	// node's port the packet arrived on.
+	HandlePacket(net *Network, node *Node, port int, data []byte)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(net *Network, node *Node, port int, data []byte)
+
+// HandlePacket implements Handler.
+func (f HandlerFunc) HandlePacket(net *Network, node *Node, port int, data []byte) {
+	f(net, node, port, data)
+}
+
+// Node is a network element (switch, controller host, traffic endpoint).
+type Node struct {
+	Name    string
+	Handler Handler
+	ports   map[int]*linkEnd
+}
+
+// Tap observes and optionally rewrites a packet crossing a link direction.
+// Returning nil drops the packet.
+type Tap func(data []byte) []byte
+
+// Link is a duplex link between two node ports.
+type Link struct {
+	sim   *Sim
+	a, b  *linkEnd
+	Delay time.Duration
+	// Bandwidth in bits per second; 0 = infinite (no serialization).
+	Bandwidth float64
+}
+
+type linkEnd struct {
+	link      *Link
+	node      *Node
+	port      int
+	peer      *linkEnd
+	busyUntil time.Duration
+	tap       Tap
+	// utilization accounting (bytes entering the link from this end)
+	ewmaBps    float64
+	ewmaAt     time.Duration
+	totalBytes uint64
+	totalPkts  uint64
+	dropped    uint64
+}
+
+// utilHalfLife is the decay constant for link utilization estimates.
+const utilHalfLife = 10 * time.Millisecond
+
+// Network owns the simulator, nodes, and links.
+type Network struct {
+	Sim   *Sim
+	nodes map[string]*Node
+	links []*Link
+}
+
+// NewNetwork returns an empty network over a fresh simulator.
+func NewNetwork() *Network {
+	return &Network{Sim: NewSim(), nodes: make(map[string]*Node)}
+}
+
+// AddNode registers a node; it panics on duplicate names (topology
+// construction bugs should fail loudly at build time).
+func (n *Network) AddNode(name string, h Handler) *Node {
+	if _, dup := n.nodes[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node %q", name))
+	}
+	node := &Node{Name: name, Handler: h, ports: make(map[int]*linkEnd)}
+	n.nodes[name] = node
+	return node
+}
+
+// Node returns a registered node or nil.
+func (n *Network) Node(name string) *Node { return n.nodes[name] }
+
+// Nodes returns the number of registered nodes.
+func (n *Network) Nodes() int { return len(n.nodes) }
+
+// Connect links nodeA's portA with nodeB's portB.
+func (n *Network) Connect(nodeA string, portA int, nodeB string, portB int, delay time.Duration, bandwidthBps float64) (*Link, error) {
+	a, ok := n.nodes[nodeA]
+	if !ok {
+		return nil, fmt.Errorf("netsim: unknown node %q", nodeA)
+	}
+	b, ok := n.nodes[nodeB]
+	if !ok {
+		return nil, fmt.Errorf("netsim: unknown node %q", nodeB)
+	}
+	if _, used := a.ports[portA]; used {
+		return nil, fmt.Errorf("netsim: %s port %d already connected", nodeA, portA)
+	}
+	if _, used := b.ports[portB]; used {
+		return nil, fmt.Errorf("netsim: %s port %d already connected", nodeB, portB)
+	}
+	l := &Link{sim: n.Sim, Delay: delay, Bandwidth: bandwidthBps}
+	l.a = &linkEnd{link: l, node: a, port: portA}
+	l.b = &linkEnd{link: l, node: b, port: portB}
+	l.a.peer, l.b.peer = l.b, l.a
+	a.ports[portA] = l.a
+	b.ports[portB] = l.b
+	n.links = append(n.links, l)
+	return l, nil
+}
+
+// MustConnect is Connect that panics on error, for topology builders.
+func (n *Network) MustConnect(nodeA string, portA int, nodeB string, portB int, delay time.Duration, bandwidthBps float64) *Link {
+	l, err := n.Connect(nodeA, portA, nodeB, portB, delay, bandwidthBps)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// SetTap installs (or clears, with nil) a tap on the direction of the link
+// that *enters* the named node: the tap sees packets just before delivery.
+func (l *Link) SetTap(towardNode string, t Tap) error {
+	switch towardNode {
+	case l.a.node.Name:
+		l.a.tap = t
+	case l.b.node.Name:
+		l.b.tap = t
+	default:
+		return fmt.Errorf("netsim: link does not touch node %q", towardNode)
+	}
+	return nil
+}
+
+// Ends returns the two node names the link connects.
+func (l *Link) Ends() (string, string) { return l.a.node.Name, l.b.node.Name }
+
+// Send transmits data from node's port after delay extraDelay (the sender's
+// local processing time). It returns an error if the port is unconnected.
+func (n *Network) Send(node *Node, port int, data []byte, extraDelay time.Duration) error {
+	end, ok := node.ports[port]
+	if !ok {
+		return fmt.Errorf("netsim: %s port %d not connected", node.Name, port)
+	}
+	l := end.link
+	d := make([]byte, len(data))
+	copy(d, data)
+
+	ready := n.Sim.Now() + extraDelay
+	ser := time.Duration(0)
+	if l.Bandwidth > 0 {
+		ser = time.Duration(float64(len(d)*8) / l.Bandwidth * float64(time.Second))
+	}
+	// FIFO queueing on this direction of the link.
+	start := ready
+	if end.busyUntil > start {
+		start = end.busyUntil
+	}
+	depart := start + ser
+	end.busyUntil = depart
+	end.recordBytes(n.Sim.Now(), len(d))
+
+	dst := end.peer
+	n.Sim.At(depart+l.Delay, func() {
+		payload := d
+		if dst.tap != nil {
+			payload = dst.tap(payload)
+			if payload == nil {
+				dst.dropped++
+				return
+			}
+		}
+		if dst.node.Handler != nil {
+			dst.node.Handler.HandlePacket(n, dst.node, dst.port, payload)
+		}
+	})
+	return nil
+}
+
+func (e *linkEnd) recordBytes(now time.Duration, n int) {
+	e.totalBytes += uint64(n)
+	e.totalPkts++
+	// Exponentially decayed rate estimate.
+	if e.ewmaAt == 0 && e.ewmaBps == 0 {
+		e.ewmaAt = now
+	}
+	dt := now - e.ewmaAt
+	if dt > 0 {
+		e.ewmaBps *= math.Pow(0.5, float64(dt)/float64(utilHalfLife))
+		e.ewmaAt = now
+	}
+	// The ln2 factor makes the steady-state estimate equal the true rate.
+	e.ewmaBps += float64(n*8) * math.Ln2 / utilHalfLife.Seconds()
+}
+
+// TxStats reports bytes/packets transmitted from the named node onto this
+// link, and packets dropped by a tap in the opposite direction before
+// delivery to that node.
+func (l *Link) TxStats(fromNode string) (bytes, packets uint64, err error) {
+	switch fromNode {
+	case l.a.node.Name:
+		return l.a.totalBytes, l.a.totalPkts, nil
+	case l.b.node.Name:
+		return l.b.totalBytes, l.b.totalPkts, nil
+	}
+	return 0, 0, fmt.Errorf("netsim: link does not touch node %q", fromNode)
+}
+
+// Utilization returns the decayed transmit rate from the named node as a
+// fraction of link bandwidth (0 when bandwidth is infinite).
+func (l *Link) Utilization(fromNode string) (float64, error) {
+	var e *linkEnd
+	switch fromNode {
+	case l.a.node.Name:
+		e = l.a
+	case l.b.node.Name:
+		e = l.b
+	default:
+		return 0, fmt.Errorf("netsim: link does not touch node %q", fromNode)
+	}
+	if l.Bandwidth <= 0 {
+		return 0, nil
+	}
+	// Apply decay up to now without recording traffic.
+	rate := e.ewmaBps
+	if dt := l.sim.now - e.ewmaAt; dt > 0 {
+		rate *= math.Pow(0.5, float64(dt)/float64(utilHalfLife))
+	}
+	u := rate / l.Bandwidth
+	if u > 1 {
+		u = 1
+	}
+	return u, nil
+}
+
+// LinkBetween returns the first link connecting the two named nodes, or
+// nil.
+func (n *Network) LinkBetween(a, b string) *Link {
+	for _, l := range n.links {
+		x, y := l.Ends()
+		if (x == a && y == b) || (x == b && y == a) {
+			return l
+		}
+	}
+	return nil
+}

@@ -1,0 +1,377 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimEventOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.At(30*time.Microsecond, func() { order = append(order, 3) })
+	s.At(10*time.Microsecond, func() { order = append(order, 1) })
+	s.At(20*time.Microsecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 30*time.Microsecond {
+		t.Errorf("now = %v", s.Now())
+	}
+}
+
+func TestSimTieBreakFIFO(t *testing.T) {
+	s := NewSim()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim()
+	var fired []time.Duration
+	s.After(time.Millisecond, func() {
+		fired = append(fired, s.Now())
+		s.After(time.Millisecond, func() {
+			fired = append(fired, s.Now())
+		})
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != time.Millisecond || fired[1] != 2*time.Millisecond {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestSimRunUntil(t *testing.T) {
+	s := NewSim()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(time.Duration(i)*time.Second, func() { count++ })
+	}
+	s.RunUntil(5 * time.Second)
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if s.Now() != 5*time.Second {
+		t.Errorf("now = %v, want 5s", s.Now())
+	}
+	s.Run()
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+}
+
+func TestSimPastEventClamps(t *testing.T) {
+	s := NewSim()
+	s.At(time.Second, func() {
+		s.At(time.Millisecond, func() {
+			if s.Now() < time.Second {
+				t.Error("past-scheduled event ran before now")
+			}
+		})
+	})
+	s.Run()
+}
+
+func collect(dst *[][]byte) Handler {
+	return HandlerFunc(func(_ *Network, _ *Node, _ int, data []byte) {
+		*dst = append(*dst, data)
+	})
+}
+
+func TestNetworkDelivery(t *testing.T) {
+	n := NewNetwork()
+	var got [][]byte
+	n.AddNode("a", nil)
+	n.AddNode("b", collect(&got))
+	n.MustConnect("a", 1, "b", 1, 5*time.Microsecond, 0)
+	if err := n.Send(n.Node("a"), 1, []byte{1, 2, 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim.Run()
+	if len(got) != 1 || len(got[0]) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if n.Sim.Now() != 5*time.Microsecond {
+		t.Errorf("delivery time %v, want 5µs", n.Sim.Now())
+	}
+}
+
+func TestNetworkSendCopiesData(t *testing.T) {
+	n := NewNetwork()
+	var got [][]byte
+	n.AddNode("a", nil)
+	n.AddNode("b", collect(&got))
+	n.MustConnect("a", 1, "b", 1, 0, 0)
+	buf := []byte{1, 2, 3}
+	if err := n.Send(n.Node("a"), 1, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99 // sender reuses its buffer
+	n.Sim.Run()
+	if got[0][0] != 1 {
+		t.Error("in-flight packet aliases the sender's buffer")
+	}
+}
+
+func TestNetworkSerializationAndQueueing(t *testing.T) {
+	n := NewNetwork()
+	var arrivals []time.Duration
+	n.AddNode("a", nil)
+	n.AddNode("b", HandlerFunc(func(_ *Network, _ *Node, _ int, _ []byte) {
+		arrivals = append(arrivals, n.Sim.Now())
+	}))
+	// 8 Kbit/s: a 1000-byte packet takes 1 s to serialize.
+	n.MustConnect("a", 1, "b", 1, 0, 8000)
+	pkt := make([]byte, 1000)
+	if err := n.Send(n.Node("a"), 1, pkt, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(n.Node("a"), 1, pkt, 0); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	if arrivals[0] != time.Second {
+		t.Errorf("first arrival %v, want 1s", arrivals[0])
+	}
+	if arrivals[1] != 2*time.Second {
+		t.Errorf("second arrival %v, want 2s (FIFO queueing)", arrivals[1])
+	}
+}
+
+func TestNetworkTapRewriteAndDrop(t *testing.T) {
+	n := NewNetwork()
+	var got [][]byte
+	n.AddNode("a", nil)
+	n.AddNode("b", collect(&got))
+	l := n.MustConnect("a", 1, "b", 1, 0, 0)
+
+	// MitM rewriting the first byte on the way into b.
+	if err := l.SetTap("b", func(d []byte) []byte {
+		d[0] = 0xEE
+		return d
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(n.Node("a"), 1, []byte{1, 2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim.Run()
+	if got[0][0] != 0xEE {
+		t.Error("tap rewrite not observed")
+	}
+
+	// Dropping tap.
+	if err := l.SetTap("b", func(d []byte) []byte { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(n.Node("a"), 1, []byte{9}, 0); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim.Run()
+	if len(got) != 1 {
+		t.Error("dropped packet was delivered")
+	}
+
+	if err := l.SetTap("nosuch", nil); err == nil {
+		t.Error("expected error for unknown tap node")
+	}
+}
+
+func TestNetworkTapDirectionality(t *testing.T) {
+	n := NewNetwork()
+	var atA, atB [][]byte
+	n.AddNode("a", collect(&atA))
+	n.AddNode("b", collect(&atB))
+	l := n.MustConnect("a", 1, "b", 1, 0, 0)
+	if err := l.SetTap("b", func(d []byte) []byte { d[0] = 0xFF; return d }); err != nil {
+		t.Fatal(err)
+	}
+	// b -> a direction must be untouched.
+	if err := n.Send(n.Node("b"), 1, []byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim.Run()
+	if atA[0][0] != 1 {
+		t.Error("tap toward b affected the b->a direction")
+	}
+}
+
+func TestNetworkUtilization(t *testing.T) {
+	n := NewNetwork()
+	n.AddNode("a", nil)
+	n.AddNode("b", nil)
+	l := n.MustConnect("a", 1, "b", 1, 0, 1e6) // 1 Mbit/s
+	// Push ~0.5 Mbit/s for a while: 125 bytes every 2 ms.
+	for i := 0; i < 50; i++ {
+		i := i
+		n.Sim.At(time.Duration(i)*2*time.Millisecond, func() {
+			_ = n.Send(n.Node("a"), 1, make([]byte, 125), 0)
+			_ = i
+		})
+	}
+	n.Sim.Run()
+	u, err := l.Utilization("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u < 0.2 || u > 0.9 {
+		t.Errorf("utilization = %.3f, want around 0.5", u)
+	}
+	ub, err := l.Utilization("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub != 0 {
+		t.Errorf("reverse direction utilization = %f, want 0", ub)
+	}
+	bytes, pkts, err := l.TxStats("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes != 50*125 || pkts != 50 {
+		t.Errorf("txstats = %d bytes %d pkts", bytes, pkts)
+	}
+}
+
+func TestNetworkErrors(t *testing.T) {
+	n := NewNetwork()
+	n.AddNode("a", nil)
+	if _, err := n.Connect("a", 1, "ghost", 1, 0, 0); err == nil {
+		t.Error("expected unknown-node error")
+	}
+	n.AddNode("b", nil)
+	if _, err := n.Connect("a", 1, "b", 1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Connect("a", 1, "b", 2, 0, 0); err == nil {
+		t.Error("expected port-in-use error")
+	}
+	if err := n.Send(n.Node("a"), 99, []byte{1}, 0); err == nil {
+		t.Error("expected unconnected-port error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate node must panic")
+		}
+	}()
+	n.AddNode("a", nil)
+}
+
+func TestLinkBetween(t *testing.T) {
+	n := NewNetwork()
+	n.AddNode("a", nil)
+	n.AddNode("b", nil)
+	n.AddNode("c", nil)
+	n.MustConnect("a", 1, "b", 1, 0, 0)
+	if n.LinkBetween("a", "b") == nil || n.LinkBetween("b", "a") == nil {
+		t.Error("LinkBetween failed for connected pair")
+	}
+	if n.LinkBetween("a", "c") != nil {
+		t.Error("LinkBetween found a phantom link")
+	}
+}
+
+func TestLossTapDeterministicRate(t *testing.T) {
+	tap := LossTap(0.3, 42)
+	dropped := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if tap([]byte{1}) == nil {
+			dropped++
+		}
+	}
+	frac := float64(dropped) / n
+	if frac < 0.27 || frac > 0.33 {
+		t.Errorf("drop fraction %.3f, want ~0.30", frac)
+	}
+	// Same seed, same stream.
+	a, b := LossTap(0.5, 7), LossTap(0.5, 7)
+	for i := 0; i < 100; i++ {
+		ra, rb := a([]byte{1}), b([]byte{1})
+		if (ra == nil) != (rb == nil) {
+			t.Fatal("loss streams diverge for identical seeds")
+		}
+	}
+	if never := LossTap(0, 1); never([]byte{1}) == nil {
+		t.Error("rate 0 dropped a packet")
+	}
+	if always := LossTap(1, 1); always([]byte{1}) != nil {
+		t.Error("rate 1 passed a packet")
+	}
+}
+
+func TestCorruptTapFlipsOneBit(t *testing.T) {
+	tap := CorruptTap(1, 9)
+	orig := []byte{0, 0, 0, 0}
+	data := append([]byte(nil), orig...)
+	out := tap(data)
+	diffBits := 0
+	for i := range out {
+		x := out[i] ^ orig[i]
+		for x != 0 {
+			diffBits += int(x & 1)
+			x >>= 1
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("corrupted %d bits, want exactly 1", diffBits)
+	}
+	// Every 3rd packet only.
+	tap3 := CorruptTap(3, 9)
+	touched := 0
+	for i := 0; i < 9; i++ {
+		d := []byte{0}
+		if tap3(d); d[0] != 0 {
+			touched++
+		}
+	}
+	if touched != 3 {
+		t.Errorf("touched %d of 9, want 3", touched)
+	}
+}
+
+func TestChainTaps(t *testing.T) {
+	seen := 0
+	counter := func(d []byte) []byte { seen++; return d }
+	drop := func(d []byte) []byte { return nil }
+	chained := ChainTaps(counter, nil, drop, counter)
+	if chained([]byte{1}) != nil {
+		t.Fatal("drop in chain should short-circuit")
+	}
+	if seen != 1 {
+		t.Fatalf("taps after a drop ran: seen=%d", seen)
+	}
+}
+
+func TestLossyLinkDelivery(t *testing.T) {
+	n := NewNetwork()
+	var got int
+	n.AddNode("a", nil)
+	n.AddNode("b", HandlerFunc(func(_ *Network, _ *Node, _ int, _ []byte) { got++ }))
+	l := n.MustConnect("a", 1, "b", 1, 0, 0)
+	if err := l.SetTap("b", LossTap(0.5, 99)); err != nil {
+		t.Fatal(err)
+	}
+	const sent = 2000
+	for i := 0; i < sent; i++ {
+		if err := n.Send(n.Node("a"), 1, []byte{1}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Sim.Run()
+	if got < sent*4/10 || got > sent*6/10 {
+		t.Errorf("delivered %d of %d over a 50%% lossy link", got, sent)
+	}
+}

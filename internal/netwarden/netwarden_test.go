@@ -1,0 +1,139 @@
+package netwarden
+
+import (
+	"testing"
+)
+
+// drive sends traffic: covert connections (0..covert-1) tick with a fixed
+// 1 ms IPD (a timing channel's regularity); benign ones jitter between
+// 0.4 and 2.6 ms. Returns forwarded counts per connection.
+func drive(t *testing.T, s *System, conns, covert, packets int, startNs uint64) []int {
+	t.Helper()
+	forwarded := make([]int, conns)
+	jit := []uint64{400_000, 2_600_000, 900_000, 1_800_000, 600_000}
+	for i := 0; i < packets; i++ {
+		for c := 0; c < conns; c++ {
+			var at uint64
+			if c < covert {
+				at = startNs + uint64(i+1)*1_000_000
+			} else {
+				base := startNs + uint64(i)*1_500_000
+				at = base + jit[(i+c)%len(jit)]
+			}
+			ok, err := s.Packet(uint16(c), at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				forwarded[c]++
+			}
+		}
+	}
+	return forwarded
+}
+
+const (
+	conns     = 16
+	covert    = 4
+	threshold = 100_000 // ns of mean jitter
+)
+
+func runScenario(t *testing.T, secure, attacked bool) (*System, []int) {
+	t.Helper()
+	s, err := New(Params{Conns: conns, Secure: secure})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, s, conns, covert, 30, 1_000_000)
+	if attacked {
+		if err := s.InstallScoreInflater(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sweep(threshold); err != nil {
+		t.Fatal(err)
+	}
+	// Post-sweep traffic: blocked connections stop flowing.
+	after := drive(t, s, conns, covert, 10, 500_000_000)
+	return s, after
+}
+
+func TestCleanSweepBlocksCovertChannels(t *testing.T) {
+	s, after := runScenario(t, true, false)
+	for c := 0; c < covert; c++ {
+		if v, _ := s.Verdict(c); v != 1 {
+			t.Errorf("covert conn %d not blocked", c)
+		}
+		if after[c] != 0 {
+			t.Errorf("covert conn %d forwarded %d packets after blocking", c, after[c])
+		}
+	}
+	for c := covert; c < conns; c++ {
+		if v, _ := s.Verdict(c); v != 0 {
+			t.Errorf("benign conn %d blocked (false positive)", c)
+		}
+		if after[c] == 0 {
+			t.Errorf("benign conn %d starved", c)
+		}
+	}
+	if s.TamperedOps != 0 {
+		t.Errorf("clean run flagged %d ops", s.TamperedOps)
+	}
+}
+
+func TestScoreInflaterEvadesWithoutP4Auth(t *testing.T) {
+	s, after := runScenario(t, false, true)
+	evaded := 0
+	for c := 0; c < covert; c++ {
+		if v, _ := s.Verdict(c); v == 0 && after[c] > 0 {
+			evaded++
+		}
+	}
+	if evaded != covert {
+		t.Fatalf("only %d/%d covert channels evaded; attack ineffective", evaded, covert)
+	}
+}
+
+func TestP4AuthRestoresDetection(t *testing.T) {
+	s, after := runScenario(t, true, true)
+	if s.TamperedOps == 0 {
+		t.Fatal("tampering undetected")
+	}
+	for c := 0; c < covert; c++ {
+		if v, _ := s.Verdict(c); v != 1 {
+			t.Errorf("covert conn %d evaded under P4Auth", c)
+		}
+		if after[c] != 0 {
+			t.Errorf("covert conn %d still flowing", c)
+		}
+	}
+	if len(s.Ctrl.Alerts()) == 0 {
+		t.Error("no alerts recorded")
+	}
+}
+
+func TestIPDMeasurementAccuracy(t *testing.T) {
+	s, err := New(DefaultParams(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfectly regular: 10 packets at exactly 2 ms spacing -> zero jitter.
+	for i := 1; i <= 10; i++ {
+		if _, err := s.Packet(3, uint64(i)*2_000_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j, err := s.Host.SW.RegisterRead(RegJitter, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first scored sample contributes |IPD - 0| once; all later
+	// samples contribute 0.
+	if j != 2_000_000 {
+		t.Errorf("jitter = %d, want only the bootstrap sample 2000000", j)
+	}
+	p, _ := s.Host.SW.RegisterRead(RegPackets, 3)
+	if p != 9 {
+		t.Errorf("samples = %d, want 9", p)
+	}
+}

@@ -1,0 +1,132 @@
+package p4rt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"p4auth/internal/pisa"
+)
+
+func testProgram() *pisa.Program {
+	return &pisa.Program{
+		Name: "p",
+		Registers: []*pisa.RegisterDef{
+			{Name: "lat_path1", Width: 32, Entries: 16},
+			{Name: "lat_path2", Width: 32, Entries: 16},
+			{Name: "keys", Width: 64, Entries: 33},
+		},
+	}
+}
+
+func TestInfoFromProgram(t *testing.T) {
+	info := InfoFromProgram(testProgram())
+	if len(info.Registers) != 3 {
+		t.Fatalf("got %d registers", len(info.Registers))
+	}
+	ri, err := info.RegisterByName("keys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Width != 64 || ri.Entries != 33 {
+		t.Errorf("keys info = %+v", ri)
+	}
+	back, err := info.RegisterByID(ri.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "keys" {
+		t.Errorf("round trip by id gave %q", back.Name)
+	}
+	if _, err := info.RegisterByID(0xdead); err == nil {
+		t.Error("expected unknown-id error")
+	}
+	if _, err := info.RegisterByName("ghost"); err == nil {
+		t.Error("expected unknown-name error")
+	}
+}
+
+func TestInfoIDsDeterministic(t *testing.T) {
+	a := InfoFromProgram(testProgram())
+	b := InfoFromProgram(testProgram())
+	for i := range a.Registers {
+		if a.Registers[i].ID != b.Registers[i].ID {
+			t.Fatal("register IDs are not deterministic")
+		}
+	}
+	seen := map[uint32]bool{}
+	for _, r := range a.Registers {
+		if seen[r.ID] {
+			t.Fatal("duplicate register ID")
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestMessageRoundtrips(t *testing.T) {
+	msgs := []Message{
+		{Type: MsgRegisterWrite, RegID: 0x05000001, Index: 3, Value: 0xdeadbeefcafef00d},
+		{Type: MsgRegisterRead, RegID: 0x05000002, Index: 9},
+		{Type: MsgReadResponse, Value: 42, OK: true},
+		{Type: MsgReadResponse, Value: 0, OK: false},
+		{Type: MsgWriteResponse, OK: true},
+		{Type: MsgPacketOut, Payload: []byte{1, 2, 3, 4}},
+		{Type: MsgPacketIn, Payload: nil},
+	}
+	for _, m := range msgs {
+		m := m
+		got, err := Decode(m.Encode())
+		if err != nil {
+			t.Fatalf("%v: %v", m.Type, err)
+		}
+		if got.Type != m.Type || got.RegID != m.RegID || got.Index != m.Index ||
+			got.Value != m.Value || got.OK != m.OK || !bytes.Equal(got.Payload, m.Payload) {
+			t.Errorf("roundtrip mismatch: sent %+v, got %+v", m, got)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptFrames(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1},
+		{99, 0, 0, 0, 0}, // unknown type
+		{byte(MsgRegisterWrite), 0, 0, 0, 3, 1, 2, 3}, // wrong body size
+		func() []byte { // header/body length mismatch
+			b := (&Message{Type: MsgPacketOut, Payload: []byte{1, 2}}).Encode()
+			return b[:len(b)-1]
+		}(),
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("case %d: expected decode error", i)
+		}
+	}
+}
+
+func TestPacketPayloadRoundtripQuick(t *testing.T) {
+	f := func(payload []byte) bool {
+		m := Message{Type: MsgPacketOut, Payload: payload}
+		got, err := Decode(m.Encode())
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeDoesNotAliasInput(t *testing.T) {
+	m := Message{Type: MsgPacketIn, Payload: []byte{5, 6, 7}}
+	enc := m.Encode()
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc[headerLen] = 0xFF
+	if got.Payload[0] != 5 {
+		t.Error("decoded payload aliases the input frame")
+	}
+}

@@ -1,0 +1,270 @@
+package pisa
+
+import "fmt"
+
+// Operand is a field reference or an immediate constant.
+type Operand struct {
+	Ref     FieldRef
+	Const   uint64
+	IsConst bool
+}
+
+// C returns a constant operand.
+func C(v uint64) Operand { return Operand{Const: v, IsConst: true} }
+
+// R returns a field-reference operand.
+func R(ref FieldRef) Operand { return Operand{Ref: ref} }
+
+func (o Operand) String() string {
+	if o.IsConst {
+		return fmt.Sprintf("%#x", o.Const)
+	}
+	return string(o.Ref)
+}
+
+// CmpKind is a comparison operator usable in gateway conditions.
+type CmpKind int
+
+// Comparison operators.
+const (
+	CmpEq CmpKind = iota + 1
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// Cond is a gateway condition: either a comparison of two operands or a
+// header-validity test (exactly one form must be set).
+type Cond struct {
+	L, R        Operand
+	Cmp         CmpKind
+	ValidHeader string // non-empty: test header validity instead
+	Negate      bool
+}
+
+// Eq builds an equality condition.
+func Eq(l, r Operand) Cond { return Cond{L: l, R: r, Cmp: CmpEq} }
+
+// Ne builds an inequality condition.
+func Ne(l, r Operand) Cond { return Cond{L: l, R: r, Cmp: CmpNe} }
+
+// Lt builds a less-than condition.
+func Lt(l, r Operand) Cond { return Cond{L: l, R: r, Cmp: CmpLt} }
+
+// Gt builds a greater-than condition.
+func Gt(l, r Operand) Cond { return Cond{L: l, R: r, Cmp: CmpGt} }
+
+// Valid tests whether a header instance is valid (was parsed or set valid).
+func Valid(header string) Cond { return Cond{ValidHeader: header} }
+
+// NotValid tests that a header instance is absent.
+func NotValid(header string) Cond { return Cond{ValidHeader: header, Negate: true} }
+
+// OpKind enumerates the primitive operations a PISA action may perform.
+// Note the absence of multiply/divide/modulo — the restriction that forces
+// P4Auth's modified DH and CRC/SipHash-style primitives.
+type OpKind int
+
+// Primitive op kinds.
+const (
+	OpSet OpKind = iota + 1
+	OpAdd
+	OpSub
+	OpXor
+	OpAnd
+	OpOr
+	OpShl
+	OpShr
+	OpRotl // 32-bit rotate, the SipHash building block
+	OpHash
+	OpRegRead
+	OpRegWrite
+	OpRegRMW
+	OpRandom
+	OpSetValid
+	OpSetInvalid
+	OpApply
+	OpIf
+)
+
+var opKindNames = map[OpKind]string{
+	OpSet: "set", OpAdd: "add", OpSub: "sub", OpXor: "xor", OpAnd: "and",
+	OpOr: "or", OpShl: "shl", OpShr: "shr", OpRotl: "rotl", OpHash: "hash",
+	OpRegRead: "reg_read", OpRegWrite: "reg_write", OpRegRMW: "reg_rmw",
+	OpRandom:   "random",
+	OpSetValid: "set_valid", OpSetInvalid: "set_invalid", OpApply: "apply",
+	OpIf: "if",
+}
+
+func (k OpKind) String() string {
+	if s, ok := opKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// HashAlg selects the algorithm of a hash distribution unit.
+type HashAlg int
+
+// Hash algorithms. CRC32 variants are native on both targets; HalfSipHash
+// is an extern available only where the profile allows externs (BMv2).
+const (
+	HashCRC32 HashAlg = iota + 1
+	HashCRC32C
+	HashIdentity
+	HashHalfSipHash
+)
+
+func (a HashAlg) String() string {
+	switch a {
+	case HashCRC32:
+		return "crc32"
+	case HashCRC32C:
+		return "crc32c"
+	case HashIdentity:
+		return "identity"
+	case HashHalfSipHash:
+		return "halfsiphash"
+	default:
+		return fmt.Sprintf("HashAlg(%d)", int(a))
+	}
+}
+
+// Op is one primitive operation. Which fields are meaningful depends on
+// Kind; the builder helpers below construct well-formed ops.
+type Op struct {
+	Kind OpKind
+
+	Dst  FieldRef // Set/Add/../Hash/RegRead/Random destination
+	A, B Operand  // ALU sources
+
+	// Hash op.
+	Alg            HashAlg
+	Key            *Operand  // optional 64-bit key (keyed digest)
+	Inputs         []Operand // serialized MSB-first at field width (consts: 64 bits)
+	IncludePayload bool      // append the packet payload to the hash input
+
+	// Register ops.
+	Reg   string
+	Index Operand
+	RMW   RMWKind
+
+	// SetValid / SetInvalid.
+	Header string
+
+	// Apply.
+	Table string
+
+	// If.
+	Cond       Cond
+	Then, Else []Op
+}
+
+// Set returns dst = a.
+func Set(dst FieldRef, a Operand) Op { return Op{Kind: OpSet, Dst: dst, A: a} }
+
+// Add returns dst = a + b (wrapping at the destination width).
+func Add(dst FieldRef, a, b Operand) Op { return Op{Kind: OpAdd, Dst: dst, A: a, B: b} }
+
+// Sub returns dst = a - b (wrapping).
+func Sub(dst FieldRef, a, b Operand) Op { return Op{Kind: OpSub, Dst: dst, A: a, B: b} }
+
+// Xor returns dst = a ^ b.
+func Xor(dst FieldRef, a, b Operand) Op { return Op{Kind: OpXor, Dst: dst, A: a, B: b} }
+
+// And returns dst = a & b.
+func And(dst FieldRef, a, b Operand) Op { return Op{Kind: OpAnd, Dst: dst, A: a, B: b} }
+
+// Or returns dst = a | b.
+func Or(dst FieldRef, a, b Operand) Op { return Op{Kind: OpOr, Dst: dst, A: a, B: b} }
+
+// Shl returns dst = a << b.
+func Shl(dst FieldRef, a, b Operand) Op { return Op{Kind: OpShl, Dst: dst, A: a, B: b} }
+
+// Shr returns dst = a >> b.
+func Shr(dst FieldRef, a, b Operand) Op { return Op{Kind: OpShr, Dst: dst, A: a, B: b} }
+
+// Rotl returns dst = rotate-left(a, b) at the destination width (32-bit on
+// hardware; the compiler rejects wider destinations).
+func Rotl(dst FieldRef, a, b Operand) Op { return Op{Kind: OpRotl, Dst: dst, A: a, B: b} }
+
+// Hash returns dst = alg(inputs...) on a hash distribution unit.
+func Hash(dst FieldRef, alg HashAlg, inputs ...Operand) Op {
+	return Op{Kind: OpHash, Dst: dst, Alg: alg, Inputs: inputs}
+}
+
+// KeyedHash returns dst = alg(key, inputs...), the digest primitive.
+func KeyedHash(dst FieldRef, alg HashAlg, key Operand, inputs ...Operand) Op {
+	return Op{Kind: OpHash, Dst: dst, Alg: alg, Key: &key, Inputs: inputs}
+}
+
+// RegRead returns dst = reg[index].
+func RegRead(dst FieldRef, reg string, index Operand) Op {
+	return Op{Kind: OpRegRead, Dst: dst, Reg: reg, Index: index}
+}
+
+// RegWrite returns reg[index] = a.
+func RegWrite(reg string, index, a Operand) Op {
+	return Op{Kind: OpRegWrite, Reg: reg, Index: index, A: a}
+}
+
+// RMWKind selects the stateful-ALU update of a read-modify-write register
+// access (Tofino RegisterAction).
+type RMWKind int
+
+// RMW update kinds: the register entry becomes old+a, a, max(old, a), or
+// old XOR a (the XOR-fold FlowRadar-style encoded flowsets rely on).
+const (
+	RMWAdd RMWKind = iota + 1
+	RMWWrite
+	RMWMax
+	RMWXor
+)
+
+// RegRMW performs a single-access read-modify-write: dst receives the old
+// entry value, and the entry is updated per kind with operand a. This is
+// the one way to both read and update a register in the same pipeline
+// pass on hardware targets.
+func RegRMW(dst FieldRef, reg string, index Operand, kind RMWKind, a Operand) Op {
+	return Op{Kind: OpRegRMW, Dst: dst, Reg: reg, Index: index, RMW: kind, A: a}
+}
+
+// Random returns dst = random() (the P4 random extern).
+func Random(dst FieldRef) Op { return Op{Kind: OpRandom, Dst: dst} }
+
+// SetValid makes a header instance valid (it will be deparsed).
+func SetValid(header string) Op { return Op{Kind: OpSetValid, Header: header} }
+
+// SetInvalid removes a header instance.
+func SetInvalid(header string) Op { return Op{Kind: OpSetInvalid, Header: header} }
+
+// Apply applies a match-action table.
+func Apply(table string) Op { return Op{Kind: OpApply, Table: table} }
+
+// If returns a gateway-guarded block.
+func If(cond Cond, then []Op, els ...[]Op) Op {
+	op := Op{Kind: OpIf, Cond: cond, Then: then}
+	if len(els) > 0 {
+		op.Else = els[0]
+	}
+	return op
+}
+
+// Convenience emissions: these write the intrinsic metadata fields.
+
+// Forward sets the egress port.
+func Forward(port Operand) Op { return Set(F(MetaHeader, MetaEgressPort), port) }
+
+// Drop marks the packet for dropping.
+func Drop() Op { return Set(F(MetaHeader, MetaDrop), C(1)) }
+
+// ToCPU marks the packet for emission on the CPU port (PacketIn).
+func ToCPU() Op { return Set(F(MetaHeader, MetaToCPU), C(1)) }
+
+// Recirculate requests another pipeline pass.
+func Recirculate() Op { return Set(F(MetaHeader, MetaRecirc), C(1)) }
+
+// Multicast replicates the packet to the ports of a multicast group.
+func Multicast(group Operand) Op { return Set(F(MetaHeader, MetaMcastGroup), group) }

@@ -1,0 +1,109 @@
+package pisa
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackRoundtrip(t *testing.T) {
+	def := &HeaderDef{Name: "h", Fields: []FieldDef{
+		{Name: "a", Width: 4},
+		{Name: "b", Width: 12},
+		{Name: "c", Width: 32},
+		{Name: "d", Width: 64},
+		{Name: "e", Width: 16},
+	}}
+	if err := def.validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c, d, e uint64) bool {
+		in := []uint64{a & mask(4), b & mask(12), c & mask(32), d, e & mask(16)}
+		packed, err := PackHeader(def, in)
+		if err != nil {
+			return false
+		}
+		out, err := UnpackHeader(def, packed)
+		if err != nil {
+			return false
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackHeaderMasksOversizedValues(t *testing.T) {
+	def := &HeaderDef{Name: "h", Fields: []FieldDef{{Name: "x", Width: 8}}}
+	packed, err := PackHeader(def, []uint64{0x1ff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed[0] != 0xff {
+		t.Errorf("got %#x, want masked 0xff", packed[0])
+	}
+}
+
+func TestPackHeaderWireOrderMSBFirst(t *testing.T) {
+	def := &HeaderDef{Name: "h", Fields: []FieldDef{
+		{Name: "hi", Width: 8},
+		{Name: "lo", Width: 8},
+		{Name: "word", Width: 16},
+	}}
+	packed, err := PackHeader(def, []uint64{0xAB, 0xCD, 0x1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0xAB, 0xCD, 0x12, 0x34}
+	if !bytes.Equal(packed, want) {
+		t.Errorf("got % x, want % x", packed, want)
+	}
+}
+
+func TestUnpackHeaderShortPacket(t *testing.T) {
+	def := &HeaderDef{Name: "h", Fields: []FieldDef{{Name: "x", Width: 32}}}
+	if _, err := UnpackHeader(def, []byte{1, 2}); err == nil {
+		t.Fatal("expected error for short packet")
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		def  HeaderDef
+		ok   bool
+	}{
+		{"valid", HeaderDef{Name: "h", Fields: []FieldDef{{Name: "a", Width: 8}}}, true},
+		{"unaligned", HeaderDef{Name: "h", Fields: []FieldDef{{Name: "a", Width: 7}}}, false},
+		{"zero width", HeaderDef{Name: "h", Fields: []FieldDef{{Name: "a", Width: 0}}}, false},
+		{"too wide", HeaderDef{Name: "h", Fields: []FieldDef{{Name: "a", Width: 65}}}, false},
+		{"dup field", HeaderDef{Name: "h", Fields: []FieldDef{{Name: "a", Width: 8}, {Name: "a", Width: 8}}}, false},
+		{"empty name", HeaderDef{Fields: []FieldDef{{Name: "a", Width: 8}}}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.def.validate()
+			if tt.ok && err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+			if !tt.ok && err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestPacketClone(t *testing.T) {
+	p := Packet{Data: []byte{1, 2, 3}, Port: 4}
+	c := p.Clone()
+	c.Data[0] = 9
+	if p.Data[0] != 1 {
+		t.Error("clone shares backing array")
+	}
+}

@@ -1,0 +1,124 @@
+package pisa
+
+import "time"
+
+// Profile describes a switch target's resource envelope and per-packet
+// cost model. Capacities follow the Tofino-1 shape (12 MAU stages, ~4k PHV
+// bits, SRAM/TCAM blocks per pipe, a hash-input crossbar per stage); the
+// percentages the compiler reports are relative to these capacities, which
+// is how Table II of the paper is reproduced.
+type Profile struct {
+	Name string
+
+	// Stages is the number of match-action stages per pipeline pass.
+	Stages int
+	// MaxPasses bounds recirculation (1 = no recirculation).
+	MaxPasses int
+	// PHVBits is the total packet-header-vector capacity in bits.
+	PHVBits int
+	// SRAMBlocks is the number of SRAM blocks (128 Kbit each).
+	SRAMBlocks int
+	// TCAMBlocks is the number of TCAM blocks (512 entries x 44 bits each).
+	TCAMBlocks int
+	// HashBits is the total hash-input crossbar capacity in bits.
+	HashBits int
+	// HashBitsPerStage bounds hash input consumed within one stage.
+	HashBitsPerStage int
+	// HashCallsPerStage bounds distinct hash computations per stage.
+	HashCallsPerStage int
+	// ALUOpsPerStage bounds primitive ops placed in one stage.
+	ALUOpsPerStage int
+	// ALUWidth is the native ALU width; ops on wider fields cost two ALU
+	// slots and rotates wider than this are rejected.
+	ALUWidth int
+	// AllowExterns permits extern hash algorithms (HalfSipHash). True only
+	// on the software target.
+	AllowExterns bool
+	// StrictRegisterAccess enforces the hardware rule that each register
+	// may be touched at most once per pipeline pass.
+	StrictRegisterAccess bool
+
+	// Cost model (virtual time per packet).
+	ParseCost   time.Duration // fixed parse/deparse cost per pass
+	StageCost   time.Duration // per occupied stage
+	RecircCost  time.Duration // extra cost per recirculation
+	FixedCost   time.Duration // MAC/queueing overhead per packet
+	PayloadCost time.Duration // per payload byte (serialization on sw targets)
+}
+
+// SRAMBlockBits is the capacity of one SRAM block.
+const SRAMBlockBits = 128 * 1024
+
+// TCAM block geometry.
+const (
+	TCAMBlockEntries = 512
+	TCAMBlockKeyBits = 44
+)
+
+// TofinoProfile models the hardware target (paper: Aurora 610, Tofino-1,
+// bf-sde 9.9.0). Per-packet costs are nanosecond-scale.
+func TofinoProfile() Profile {
+	return Profile{
+		Name:                 "tofino",
+		Stages:               12,
+		MaxPasses:            6, // recirculation is bandwidth-limited on hw, not hard-capped
+		PHVBits:              4096,
+		SRAMBlocks:           960,
+		TCAMBlocks:           72,
+		HashBits:             4992,
+		HashBitsPerStage:     416,
+		HashCallsPerStage:    2,
+		ALUOpsPerStage:       20,
+		ALUWidth:             32,
+		AllowExterns:         false,
+		StrictRegisterAccess: true,
+		ParseCost:            100 * time.Nanosecond,
+		StageCost:            30 * time.Nanosecond,
+		RecircCost:           400 * time.Nanosecond,
+		FixedCost:            300 * time.Nanosecond,
+		PayloadCost:          0,
+	}
+}
+
+// BMv2Profile models the software reference switch: effectively unbounded
+// resources, extern support (compute_digest/HalfSipHash, §VII), and
+// microsecond-scale per-packet cost.
+func BMv2Profile() Profile {
+	return Profile{
+		Name:              "bmv2",
+		Stages:            256,
+		MaxPasses:         16,
+		PHVBits:           1 << 20,
+		SRAMBlocks:        1 << 20,
+		TCAMBlocks:        1 << 20,
+		HashBits:          1 << 20,
+		HashBitsPerStage:  1 << 20,
+		HashCallsPerStage: 1 << 10,
+		ALUOpsPerStage:    1 << 10,
+		ALUWidth:          64,
+		AllowExterns:      true,
+		// BMv2 is dominated by fixed per-packet overhead (parsing, PHV
+		// marshaling, queueing between the software threads); per-table
+		// cost is comparatively small. Calibrated so the P4Auth stage
+		// delta lands in the paper's few-percent regime (Fig. 21).
+		ParseCost:   12 * time.Microsecond,
+		StageCost:   350 * time.Nanosecond,
+		RecircCost:  40 * time.Microsecond,
+		FixedCost:   230 * time.Microsecond,
+		PayloadCost: 6 * time.Nanosecond,
+	}
+}
+
+// PacketCost returns the modeled time for a packet that occupied `stages`
+// stages over `passes` pipeline passes carrying `payloadBytes` of payload.
+func (p Profile) PacketCost(stages, passes, payloadBytes int) time.Duration {
+	if passes < 1 {
+		passes = 1
+	}
+	c := p.FixedCost +
+		time.Duration(passes)*p.ParseCost +
+		time.Duration(stages)*p.StageCost +
+		time.Duration(passes-1)*p.RecircCost +
+		time.Duration(payloadBytes)*p.PayloadCost
+	return c
+}

@@ -1,0 +1,696 @@
+package pisa
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+
+	"p4auth/internal/crypto"
+)
+
+// CPUPort is the reserved port number for controller PacketIn/PacketOut
+// traffic.
+const CPUPort = 0xFFFD
+
+// Emission is one packet leaving the switch.
+type Emission struct {
+	Port int
+	Data []byte
+}
+
+// Result summarizes processing of one packet.
+type Result struct {
+	Emissions []Emission
+	Passes    int
+	// Cost is the modeled data-plane latency for this packet.
+	Cost time.Duration
+}
+
+// Switch is a running data plane: a compiled program plus runtime state
+// (table entries, register values, multicast groups). All methods are safe
+// for concurrent use; packets are processed one at a time, as on a single
+// pipe.
+type Switch struct {
+	mu       sync.Mutex
+	compiled *Compiled
+	rng      crypto.RandomSource
+
+	tables   []*tableState
+	regs     [][]uint64
+	mcast    map[uint64][]int
+	counters map[string]uint64
+
+	crcIEEE   *crc32.Table
+	crcCast   *crc32.Table
+	keyedIEEE crypto.KeyedCRC32
+	keyedCast crypto.KeyedCRC32
+	halfsip   crypto.HalfSipHash
+	scratch   []byte
+	now       uint64
+}
+
+// SetNow sets the ingress timestamp (nanoseconds) stamped into
+// MetaTimestamp for subsequent packets. Simulation adapters call this with
+// the virtual clock before each Process.
+func (s *Switch) SetNow(ns uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = ns
+}
+
+// Option configures a Switch.
+type Option func(*Switch)
+
+// WithRandom sets the random source backing the P4 random() extern.
+func WithRandom(r crypto.RandomSource) Option {
+	return func(s *Switch) { s.rng = r }
+}
+
+// NewSwitch compiles the program for the profile and instantiates runtime
+// state.
+func NewSwitch(prog *Program, profile Profile, opts ...Option) (*Switch, error) {
+	compiled, err := Compile(prog, profile)
+	if err != nil {
+		return nil, fmt.Errorf("pisa: compile %s for %s: %w", prog.Name, profile.Name, err)
+	}
+	return NewSwitchFromCompiled(compiled, opts...), nil
+}
+
+// NewSwitchFromCompiled instantiates runtime state for an already-compiled
+// program (several switches can share one compilation).
+func NewSwitchFromCompiled(compiled *Compiled, opts ...Option) *Switch {
+	s := &Switch{
+		compiled:  compiled,
+		rng:       crypto.NewSeededRand(0x9a4aadd),
+		mcast:     make(map[uint64][]int),
+		counters:  make(map[string]uint64),
+		crcIEEE:   crc32.MakeTable(crc32.IEEE),
+		crcCast:   crc32.MakeTable(crc32.Castagnoli),
+		keyedIEEE: crypto.NewKeyedCRC32(),
+		keyedCast: crypto.NewKeyedCRC32Castagnoli(),
+		halfsip:   crypto.NewHalfSipHash24(),
+	}
+	for _, t := range compiled.Program.Tables {
+		s.tables = append(s.tables, newTableState(t))
+	}
+	for _, r := range compiled.Program.Registers {
+		s.regs = append(s.regs, make([]uint64, r.Entries))
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Compiled exposes the compilation (resource report, profile).
+func (s *Switch) Compiled() *Compiled { return s.compiled }
+
+// --- driver-level runtime API (the attackable switch-software surface) ---
+
+// InsertEntry installs a table entry.
+func (s *Switch) InsertEntry(table string, e Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ti, ok := s.compiled.tableIndex[table]
+	if !ok {
+		return fmt.Errorf("pisa: unknown table %q", table)
+	}
+	return s.tables[ti].insert(e)
+}
+
+// DeleteEntry removes the entry with the exact key from a table.
+func (s *Switch) DeleteEntry(table string, key []KeyMatch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ti, ok := s.compiled.tableIndex[table]
+	if !ok {
+		return fmt.Errorf("pisa: unknown table %q", table)
+	}
+	return s.tables[ti].remove(key)
+}
+
+// ClearTable removes all entries from a table.
+func (s *Switch) ClearTable(table string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ti, ok := s.compiled.tableIndex[table]
+	if !ok {
+		return fmt.Errorf("pisa: unknown table %q", table)
+	}
+	s.tables[ti].clear()
+	return nil
+}
+
+// RegisterRead reads a register entry directly (the driver path).
+func (s *Switch) RegisterRead(name string, index int) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ri, ok := s.compiled.regIndex[name]
+	if !ok {
+		return 0, fmt.Errorf("pisa: unknown register %q", name)
+	}
+	if index < 0 || index >= len(s.regs[ri]) {
+		return 0, fmt.Errorf("pisa: register %s index %d out of range [0,%d)", name, index, len(s.regs[ri]))
+	}
+	return s.regs[ri][index], nil
+}
+
+// RegisterWrite writes a register entry directly (the driver path).
+func (s *Switch) RegisterWrite(name string, index int, v uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ri, ok := s.compiled.regIndex[name]
+	if !ok {
+		return fmt.Errorf("pisa: unknown register %q", name)
+	}
+	if index < 0 || index >= len(s.regs[ri]) {
+		return fmt.Errorf("pisa: register %s index %d out of range [0,%d)", name, index, len(s.regs[ri]))
+	}
+	def := s.compiled.Program.Registers[ri]
+	s.regs[ri][index] = v & mask(def.Width)
+	return nil
+}
+
+// SetMulticastGroup configures the ports of a multicast group.
+func (s *Switch) SetMulticastGroup(group uint64, ports []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mcast[group] = append([]int(nil), ports...)
+}
+
+// Counter returns a named diagnostic counter.
+func (s *Switch) Counter(name string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[name]
+}
+
+func (s *Switch) bump(name string) { s.counters[name]++ }
+
+// --- packet processing ---
+
+type execState struct {
+	phv     []uint64
+	valid   []bool
+	payload []byte
+	passes  int
+}
+
+// Process runs one packet through the pipeline and returns its emissions
+// and modeled cost.
+func (s *Switch) Process(pkt Packet) (Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	st := &execState{
+		phv:   make([]uint64, len(s.compiled.slotWidth)),
+		valid: make([]bool, len(s.compiled.Program.Headers)),
+	}
+	if err := s.parse(st, pkt.Data); err != nil {
+		s.bump("parse_error")
+		return Result{}, err
+	}
+	s.setMeta(st, MetaIngressPort, uint64(pkt.Port))
+	s.setMeta(st, MetaTimestamp, s.now)
+	s.setMeta(st, MetaPktLen, uint64(len(pkt.Data)))
+
+	maxPasses := s.compiled.Profile.MaxPasses
+	for pass := 0; ; pass++ {
+		st.passes = pass + 1
+		s.setMeta(st, MetaPass, uint64(pass))
+		s.setMeta(st, MetaRecirc, 0)
+		if err := s.runOps(st, s.compiled.Program.Control, nil); err != nil {
+			return Result{}, err
+		}
+		if s.getMeta(st, MetaRecirc) == 0 {
+			break
+		}
+		if pass+1 >= maxPasses {
+			s.bump("recirc_overflow")
+			s.setMeta(st, MetaDrop, 1)
+			break
+		}
+	}
+
+	stages := s.compiled.StagesPerPass() + s.compiled.Usage.EgressStages
+	res := Result{
+		Passes: st.passes,
+		Cost:   s.compiled.Profile.PacketCost(stages, st.passes, len(st.payload)),
+	}
+	if s.getMeta(st, MetaDrop) != 0 {
+		s.bump("dropped")
+		return res, nil
+	}
+
+	// Replication: copy-to-CPU plus multicast group or unicast port.
+	var dests []int
+	if s.getMeta(st, MetaToCPU) != 0 {
+		dests = append(dests, CPUPort)
+	}
+	switch {
+	case s.getMeta(st, MetaMcastGroup) != 0:
+		dests = append(dests, s.mcast[s.getMeta(st, MetaMcastGroup)]...)
+	case s.getMeta(st, MetaEgressPort) != 0:
+		// Ports are 1-based; 0 means "no unicast decision".
+		dests = append(dests, int(s.getMeta(st, MetaEgressPort)))
+	default:
+		if len(dests) == 0 {
+			s.bump("no_egress")
+		}
+	}
+
+	// Egress pipeline per replica.
+	for _, port := range dests {
+		est := st
+		if len(dests) > 1 || len(s.compiled.Program.EgressControl) > 0 {
+			cp := &execState{
+				phv:     append([]uint64(nil), st.phv...),
+				valid:   append([]bool(nil), st.valid...),
+				payload: st.payload,
+			}
+			est = cp
+		}
+		s.setMeta(est, MetaEgressPort, uint64(port)&mask(16))
+		if len(s.compiled.Program.EgressControl) > 0 {
+			if err := s.runOps(est, s.compiled.Program.EgressControl, nil); err != nil {
+				return Result{}, fmt.Errorf("egress: %w", err)
+			}
+			if s.getMeta(est, MetaDrop) != 0 {
+				s.bump("egress_dropped")
+				continue
+			}
+		}
+		res.Emissions = append(res.Emissions, Emission{Port: port, Data: s.deparse(est)})
+	}
+	return res, nil
+}
+
+func (s *Switch) metaSlot(name string) int {
+	return s.compiled.slots[F(MetaHeader, name)]
+}
+
+func (s *Switch) setMeta(st *execState, name string, v uint64) {
+	slot := s.metaSlot(name)
+	st.phv[slot] = v & mask(s.compiled.slotWidth[slot])
+}
+
+func (s *Switch) getMeta(st *execState, name string) uint64 {
+	return st.phv[s.metaSlot(name)]
+}
+
+func (s *Switch) parse(st *execState, data []byte) error {
+	prog := s.compiled.Program
+	if len(prog.Parser) == 0 {
+		st.payload = append([]byte(nil), data...)
+		return nil
+	}
+	rest := data
+	stateName := ParserStart
+	for steps := 0; ; steps++ {
+		if steps > 64 {
+			return fmt.Errorf("pisa: parser exceeded 64 states (loop?)")
+		}
+		si, ok := s.compiled.parserIndex[stateName]
+		if !ok {
+			return fmt.Errorf("pisa: parser transitioned to unknown state %q", stateName)
+		}
+		state := prog.Parser[si]
+		if state.Extract != "" {
+			hi := s.compiled.headerIndex[state.Extract]
+			def := prog.Headers[hi]
+			vals, err := UnpackHeader(def, rest)
+			if err != nil {
+				return err
+			}
+			for fi, slot := range s.compiled.headerSlots[hi] {
+				st.phv[slot] = vals[fi]
+			}
+			st.valid[hi] = true
+			rest = rest[def.Bytes():]
+		}
+		next := state.Default
+		if state.Select != "" {
+			slot := s.compiled.slots[state.Select]
+			if n, ok := state.Transitions[st.phv[slot]]; ok {
+				next = n
+			}
+		}
+		if next == "" {
+			break
+		}
+		stateName = next
+	}
+	st.payload = append([]byte(nil), rest...)
+	return nil
+}
+
+func (s *Switch) deparse(st *execState) []byte {
+	prog := s.compiled.Program
+	var out []byte
+	for _, name := range prog.DeparseOrder {
+		hi := s.compiled.headerIndex[name]
+		if !st.valid[hi] {
+			continue
+		}
+		def := prog.Headers[hi]
+		vals := make([]uint64, len(def.Fields))
+		for fi, slot := range s.compiled.headerSlots[hi] {
+			vals[fi] = st.phv[slot]
+		}
+		b, err := PackHeader(def, vals)
+		if err != nil {
+			// Unreachable: values are width-masked and defs validated.
+			panic(fmt.Sprintf("pisa: deparse %s: %v", name, err))
+		}
+		out = append(out, b...)
+	}
+	return append(out, st.payload...)
+}
+
+type execFrame struct {
+	params []uint64
+}
+
+// evalOperandIn resolves operands that may reference action parameters.
+func (s *Switch) evalOperandIn(st *execState, o Operand, act *Action, frame *execFrame) (uint64, error) {
+	if o.IsConst {
+		return o.Const, nil
+	}
+	slot, pidx, _, err := s.compiled.lookupRef(o.Ref, act)
+	if err != nil {
+		return 0, err
+	}
+	if pidx >= 0 {
+		if frame == nil || pidx >= len(frame.params) {
+			return 0, fmt.Errorf("pisa: parameter %s unbound", o.Ref)
+		}
+		return frame.params[pidx], nil
+	}
+	return st.phv[slot], nil
+}
+
+func rotl(v uint64, n uint64, width int) uint64 {
+	n %= uint64(width)
+	m := mask(width)
+	v &= m
+	return ((v << n) | (v >> (uint64(width) - n))) & m
+}
+
+func (s *Switch) runOps(st *execState, ops []Op, actFrame *opContext) error {
+	var act *Action
+	var frame *execFrame
+	if actFrame != nil {
+		act, frame = actFrame.act, actFrame.frame
+	}
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpSet, OpAdd, OpSub, OpXor, OpAnd, OpOr, OpShl, OpShr, OpRotl:
+			a, err := s.evalOperandIn(st, op.A, act, frame)
+			if err != nil {
+				return err
+			}
+			var b uint64
+			if op.Kind != OpSet {
+				if b, err = s.evalOperandIn(st, op.B, act, frame); err != nil {
+					return err
+				}
+			}
+			slot, _, w, err := s.compiled.lookupRef(op.Dst, act)
+			if err != nil {
+				return err
+			}
+			var v uint64
+			switch op.Kind {
+			case OpSet:
+				v = a
+			case OpAdd:
+				v = a + b
+			case OpSub:
+				v = a - b
+			case OpXor:
+				v = a ^ b
+			case OpAnd:
+				v = a & b
+			case OpOr:
+				v = a | b
+			case OpShl:
+				if b >= 64 {
+					v = 0
+				} else {
+					v = a << b
+				}
+			case OpShr:
+				if b >= 64 {
+					v = 0
+				} else {
+					v = a >> b
+				}
+			case OpRotl:
+				v = rotl(a, b, w)
+			}
+			st.phv[slot] = v & mask(w)
+		case OpHash:
+			v, err := s.execHash(st, op, act, frame)
+			if err != nil {
+				return err
+			}
+			slot, _, w, err := s.compiled.lookupRef(op.Dst, act)
+			if err != nil {
+				return err
+			}
+			st.phv[slot] = uint64(v) & mask(w)
+		case OpRegRead, OpRegWrite, OpRegRMW:
+			ri := s.compiled.regIndex[op.Reg]
+			def := s.compiled.Program.Registers[ri]
+			idx, err := s.evalOperandIn(st, op.Index, act, frame)
+			if err != nil {
+				return err
+			}
+			if idx >= uint64(def.Entries) {
+				s.bump("reg_index_wrap")
+				idx %= uint64(def.Entries)
+			}
+			switch op.Kind {
+			case OpRegRead:
+				slot, _, w, err := s.compiled.lookupRef(op.Dst, act)
+				if err != nil {
+					return err
+				}
+				st.phv[slot] = s.regs[ri][idx] & mask(w)
+			case OpRegWrite:
+				v, err := s.evalOperandIn(st, op.A, act, frame)
+				if err != nil {
+					return err
+				}
+				s.regs[ri][idx] = v & mask(def.Width)
+			case OpRegRMW:
+				a, err := s.evalOperandIn(st, op.A, act, frame)
+				if err != nil {
+					return err
+				}
+				old := s.regs[ri][idx]
+				var next uint64
+				switch op.RMW {
+				case RMWAdd:
+					next = old + a
+				case RMWWrite:
+					next = a
+				case RMWMax:
+					next = old
+					if a > old {
+						next = a
+					}
+				case RMWXor:
+					next = old ^ a
+				}
+				s.regs[ri][idx] = next & mask(def.Width)
+				slot, _, w, err := s.compiled.lookupRef(op.Dst, act)
+				if err != nil {
+					return err
+				}
+				st.phv[slot] = old & mask(w)
+			}
+		case OpRandom:
+			slot, _, w, err := s.compiled.lookupRef(op.Dst, act)
+			if err != nil {
+				return err
+			}
+			st.phv[slot] = s.rng.Uint64() & mask(w)
+		case OpSetValid:
+			hi := s.compiled.headerIndex[op.Header]
+			if !st.valid[hi] {
+				st.valid[hi] = true
+				for _, slot := range s.compiled.headerSlots[hi] {
+					st.phv[slot] = 0
+				}
+			}
+		case OpSetInvalid:
+			st.valid[s.compiled.headerIndex[op.Header]] = false
+		case OpApply:
+			if err := s.applyTable(st, op.Table); err != nil {
+				return err
+			}
+		case OpIf:
+			take, err := s.evalCond(st, op.Cond, act, frame)
+			if err != nil {
+				return err
+			}
+			branch := op.Then
+			if !take {
+				branch = op.Else
+			}
+			if err := s.runOps(st, branch, actFrame); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("pisa: runtime: unknown op kind %d", int(op.Kind))
+		}
+	}
+	return nil
+}
+
+type opContext struct {
+	act   *Action
+	frame *execFrame
+}
+
+func (s *Switch) evalCond(st *execState, cond Cond, act *Action, frame *execFrame) (bool, error) {
+	if cond.ValidHeader != "" {
+		v := st.valid[s.compiled.headerIndex[cond.ValidHeader]]
+		if cond.Negate {
+			v = !v
+		}
+		return v, nil
+	}
+	l, err := s.evalOperandIn(st, cond.L, act, frame)
+	if err != nil {
+		return false, err
+	}
+	r, err := s.evalOperandIn(st, cond.R, act, frame)
+	if err != nil {
+		return false, err
+	}
+	var res bool
+	switch cond.Cmp {
+	case CmpEq:
+		res = l == r
+	case CmpNe:
+		res = l != r
+	case CmpLt:
+		res = l < r
+	case CmpLe:
+		res = l <= r
+	case CmpGt:
+		res = l > r
+	case CmpGe:
+		res = l >= r
+	}
+	if cond.Negate {
+		res = !res
+	}
+	return res, nil
+}
+
+func (s *Switch) execHash(st *execState, op *Op, act *Action, frame *execFrame) (uint32, error) {
+	// Serialize inputs MSB-first at declared widths, then payload.
+	totalBits := 0
+	vals := make([]uint64, len(op.Inputs))
+	widths := make([]int, len(op.Inputs))
+	for i, in := range op.Inputs {
+		v, err := s.evalOperandIn(st, in, act, frame)
+		if err != nil {
+			return 0, err
+		}
+		w := 64
+		if !in.IsConst {
+			_, _, fw, _ := s.compiled.lookupRef(in.Ref, act)
+			w = fw
+		}
+		vals[i], widths[i] = v, w
+		totalBits += w
+	}
+	nbytes := (totalBits + 7) / 8
+	if cap(s.scratch) < nbytes {
+		s.scratch = make([]byte, nbytes)
+	}
+	buf := s.scratch[:nbytes]
+	for i := range buf {
+		buf[i] = 0
+	}
+	off := 0
+	for i := range vals {
+		off = packBits(buf, off, vals[i]&mask(widths[i]), widths[i])
+	}
+	data := buf
+	if op.IncludePayload {
+		data = append(append([]byte{}, buf...), st.payload...)
+	}
+
+	var key uint64
+	if op.Key != nil {
+		k, err := s.evalOperandIn(st, *op.Key, act, frame)
+		if err != nil {
+			return 0, err
+		}
+		key = k
+	}
+
+	switch op.Alg {
+	case HashCRC32:
+		if op.Key != nil {
+			return s.keyedIEEE.Sum32(key, data), nil
+		}
+		return crc32.Checksum(data, s.crcIEEE), nil
+	case HashCRC32C:
+		if op.Key != nil {
+			return s.keyedCast.Sum32(key, data), nil
+		}
+		return crc32.Checksum(data, s.crcCast), nil
+	case HashIdentity:
+		var v uint32
+		for _, b := range data {
+			v = v<<8 | uint32(b)
+		}
+		return v, nil
+	case HashHalfSipHash:
+		return s.halfsip.Sum32(key, data), nil
+	default:
+		return 0, fmt.Errorf("pisa: runtime: unknown hash alg %d", int(op.Alg))
+	}
+}
+
+func (s *Switch) applyTable(st *execState, name string) error {
+	ti := s.compiled.tableIndex[name]
+	ts := s.tables[ti]
+	def := ts.def
+	vals := make([]uint64, len(def.Keys))
+	widths := make([]int, len(def.Keys))
+	for i, k := range def.Keys {
+		slot, _, w, err := s.compiled.lookupRef(k.Field, nil)
+		if err != nil {
+			return err
+		}
+		vals[i], widths[i] = st.phv[slot], w
+	}
+	entry := ts.lookup(vals, widths)
+	actionName := def.Default
+	var params []uint64
+	if entry != nil {
+		actionName, params = entry.Action, entry.Params
+	} else if actionName != "" {
+		params = def.DefaultParams
+	}
+	if actionName == "" {
+		return nil // miss with no default: no-op
+	}
+	a := s.compiled.Program.Action(actionName)
+	if a == nil {
+		return fmt.Errorf("pisa: table %s: entry references unknown action %q", name, actionName)
+	}
+	if len(params) != len(a.Params) {
+		return fmt.Errorf("pisa: table %s action %s: %d params bound, want %d", name, actionName, len(params), len(a.Params))
+	}
+	return s.runOps(st, a.Body, &opContext{act: a, frame: &execFrame{params: params}})
+}

@@ -1,0 +1,258 @@
+// Package switchos models the switch software stack P4Auth distrusts: the
+// gRPC agent, SDK, and driver layers between the control channel and the
+// data plane (§II of the paper). Each layer boundary carries interposition
+// hooks — the moral equivalent of the LD_PRELOAD backdoor the paper's
+// threat model assumes — where an adversary with a compromised NOS can
+// observe and rewrite register operations, their responses, and
+// PacketOut/PacketIn traffic, all below any TLS the controller channel
+// uses.
+//
+// Every operation returns its modeled latency so experiments composed on a
+// virtual clock account for the software path the same way the paper's
+// testbed does physically.
+package switchos
+
+import (
+	"fmt"
+	"time"
+
+	"p4auth/internal/p4rt"
+	"p4auth/internal/pisa"
+)
+
+// Boundary identifies a layer boundary where hooks can be installed.
+type Boundary int
+
+// Boundaries, top down.
+const (
+	// BoundaryAgentSDK sits between the gRPC server agent and the SDK.
+	BoundaryAgentSDK Boundary = iota
+	// BoundarySDKDriver sits between the SDK and the low-level driver.
+	BoundarySDKDriver
+	numBoundaries
+)
+
+// RegOp is a register operation in flight through the stack. Above the SDK
+// the register is identified by ID; the SDK fills in Name. Hooks may
+// mutate any field — that is the attack.
+type RegOp struct {
+	ID      uint32
+	Name    string
+	Index   uint32
+	Value   uint64 // writes
+	IsWrite bool
+}
+
+// Hooks are the interposition points at one boundary. Nil members pass
+// through.
+type Hooks struct {
+	// OnRegOp sees a register request heading toward the data plane.
+	OnRegOp func(op *RegOp)
+	// OnRegResult sees a read result heading back to the controller.
+	OnRegResult func(op *RegOp, value *uint64)
+	// OnPacketOut sees a PacketOut heading to the CPU port; returning nil
+	// drops it.
+	OnPacketOut func(data []byte) []byte
+	// OnPacketIn sees a PacketIn heading to the controller; returning nil
+	// drops it.
+	OnPacketIn func(data []byte) []byte
+}
+
+// Costs models the software-path latency of the stack.
+type Costs struct {
+	// AgentBase is the gRPC receive/dispatch cost per API request.
+	AgentBase time.Duration
+	// ComposeField is the per-field request compose/parse cost; reads
+	// carry one field (the index), writes two (index and data) — the
+	// asymmetry behind Fig. 19's read/write gap.
+	ComposeField time.Duration
+	// SDKBase is the SDK translation cost (ID to name, validation).
+	SDKBase time.Duration
+	// DriverBase is the driver call overhead.
+	DriverBase time.Duration
+	// PCIe is the host-to-ASIC round trip.
+	PCIe time.Duration
+	// PacketIOBase is the agent's PacketOut/PacketIn handling cost.
+	PacketIOBase time.Duration
+	// PerByte is the cost per payload byte moved through the agent.
+	PerByte time.Duration
+}
+
+// DefaultCosts reflect the paper's testbed regime: a Python/protobuf
+// control stack where request composition dominates API calls (the 1.7x
+// read/write gap of Fig. 19 comes from composing one field versus two)
+// and PTF-style packet crafting makes the PacketOut path comparable to an
+// API write ("not much difference in register write throughput among
+// P4Runtime, DP-REG-RW and P4Auth", §IX-B).
+func DefaultCosts() Costs {
+	return Costs{
+		AgentBase:    18 * time.Microsecond,
+		ComposeField: 200 * time.Microsecond,
+		SDKBase:      9 * time.Microsecond,
+		DriverBase:   7 * time.Microsecond,
+		PCIe:         11 * time.Microsecond,
+		PacketIOBase: 160 * time.Microsecond,
+		PerByte:      220 * time.Nanosecond,
+	}
+}
+
+// Host is a complete switch: data plane plus software stack.
+type Host struct {
+	Name  string
+	SW    *pisa.Switch
+	Info  *p4rt.P4Info
+	Costs Costs
+
+	hooks [numBoundaries]*Hooks
+}
+
+// NewHost assembles a host around a data plane.
+func NewHost(name string, sw *pisa.Switch, costs Costs) *Host {
+	return &Host{
+		Name:  name,
+		SW:    sw,
+		Info:  p4rt.InfoFromProgram(sw.Compiled().Program),
+		Costs: costs,
+	}
+}
+
+// Install places hooks at a boundary (nil uninstalls) — the backdoor
+// installation step of the paper's threat model.
+func (h *Host) Install(b Boundary, hk *Hooks) error {
+	if b < 0 || b >= numBoundaries {
+		return fmt.Errorf("switchos: unknown boundary %d", int(b))
+	}
+	h.hooks[b] = hk
+	return nil
+}
+
+// Compromised reports whether any boundary has hooks installed.
+func (h *Host) Compromised() bool {
+	for _, hk := range h.hooks {
+		if hk != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *Host) regOpDown(op *RegOp) {
+	if hk := h.hooks[BoundaryAgentSDK]; hk != nil && hk.OnRegOp != nil {
+		hk.OnRegOp(op)
+	}
+	// SDK: resolve ID to name.
+	if ri, err := h.Info.RegisterByID(op.ID); err == nil {
+		op.Name = ri.Name
+	}
+	if hk := h.hooks[BoundarySDKDriver]; hk != nil && hk.OnRegOp != nil {
+		hk.OnRegOp(op)
+	}
+}
+
+func (h *Host) regResultUp(op *RegOp, value *uint64) {
+	if hk := h.hooks[BoundarySDKDriver]; hk != nil && hk.OnRegResult != nil {
+		hk.OnRegResult(op, value)
+	}
+	if hk := h.hooks[BoundaryAgentSDK]; hk != nil && hk.OnRegResult != nil {
+		hk.OnRegResult(op, value)
+	}
+}
+
+// APIRegisterWrite performs a P4Runtime-style register write through the
+// full stack, returning the modeled latency of the request path.
+func (h *Host) APIRegisterWrite(regID uint32, index uint32, value uint64) (time.Duration, error) {
+	cost := h.Costs.AgentBase + 2*h.Costs.ComposeField // index + data
+	op := &RegOp{ID: regID, Index: index, Value: value, IsWrite: true}
+	h.regOpDown(op)
+	cost += h.Costs.SDKBase + h.Costs.DriverBase + h.Costs.PCIe
+	if op.Name == "" {
+		return cost, fmt.Errorf("switchos: %s: register id %#x did not resolve", h.Name, op.ID)
+	}
+	if err := h.SW.RegisterWrite(op.Name, int(op.Index), op.Value); err != nil {
+		return cost, fmt.Errorf("switchos: %s: %w", h.Name, err)
+	}
+	return cost, nil
+}
+
+// APIRegisterRead performs a P4Runtime-style register read through the
+// full stack.
+func (h *Host) APIRegisterRead(regID uint32, index uint32) (uint64, time.Duration, error) {
+	cost := h.Costs.AgentBase + h.Costs.ComposeField // index only
+	op := &RegOp{ID: regID, Index: index}
+	h.regOpDown(op)
+	cost += h.Costs.SDKBase + h.Costs.DriverBase + h.Costs.PCIe
+	if op.Name == "" {
+		return 0, cost, fmt.Errorf("switchos: %s: register id %#x did not resolve", h.Name, op.ID)
+	}
+	v, err := h.SW.RegisterRead(op.Name, int(op.Index))
+	if err != nil {
+		return 0, cost, fmt.Errorf("switchos: %s: %w", h.Name, err)
+	}
+	h.regResultUp(op, &v)
+	cost += h.Costs.SDKBase + h.Costs.AgentBase
+	return v, cost, nil
+}
+
+// IOResult is the outcome of a packet injected into the host (PacketOut or
+// a network packet): forwarded packets, PacketIns surfaced to the control
+// channel, and the modeled latency.
+type IOResult struct {
+	// NetOut are emissions on network ports.
+	NetOut []pisa.Emission
+	// PacketIns are CPU-port emissions after traversing the stack upward.
+	PacketIns [][]byte
+	// Cost is the total modeled latency (software path + pipeline).
+	Cost time.Duration
+}
+
+// PacketOut injects a controller packet into the data plane via the CPU
+// port, passing the stack's hooks on the way down.
+func (h *Host) PacketOut(data []byte) (IOResult, error) {
+	res := IOResult{Cost: h.Costs.PacketIOBase + time.Duration(len(data))*h.Costs.PerByte}
+	for _, b := range []Boundary{BoundaryAgentSDK, BoundarySDKDriver} {
+		if hk := h.hooks[b]; hk != nil && hk.OnPacketOut != nil {
+			data = hk.OnPacketOut(data)
+			if data == nil {
+				return res, nil // silently dropped by the backdoor
+			}
+		}
+	}
+	res.Cost += h.Costs.DriverBase + h.Costs.PCIe
+	return h.runPipeline(data, pisa.CPUPort, res)
+}
+
+// NetworkPacket injects a packet arriving on a network port directly into
+// the pipeline (no software stack on the way in).
+func (h *Host) NetworkPacket(port int, data []byte) (IOResult, error) {
+	return h.runPipeline(data, port, IOResult{})
+}
+
+func (h *Host) runPipeline(data []byte, port int, res IOResult) (IOResult, error) {
+	out, err := h.SW.Process(pisa.Packet{Data: data, Port: port})
+	if err != nil {
+		return res, fmt.Errorf("switchos: %s: pipeline: %w", h.Name, err)
+	}
+	res.Cost += out.Cost
+	for _, e := range out.Emissions {
+		if e.Port != pisa.CPUPort {
+			res.NetOut = append(res.NetOut, e)
+			continue
+		}
+		// PacketIn path: PCIe + driver + hooks upward + agent.
+		res.Cost += h.Costs.PCIe + h.Costs.DriverBase +
+			h.Costs.PacketIOBase + time.Duration(len(e.Data))*h.Costs.PerByte
+		pin := e.Data
+		for _, b := range []Boundary{BoundarySDKDriver, BoundaryAgentSDK} {
+			if hk := h.hooks[b]; hk != nil && hk.OnPacketIn != nil {
+				pin = hk.OnPacketIn(pin)
+				if pin == nil {
+					break
+				}
+			}
+		}
+		if pin != nil {
+			res.PacketIns = append(res.PacketIns, pin)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,79 @@
+package systems
+
+import (
+	"p4auth/internal/pisa"
+)
+
+// RunBlink models Blink's fast-reroute state (Table I, FRR row): the
+// controller maintains a per-prefix next-hop list in data-plane registers;
+// on failure of the primary next hop it promotes the backup. The adversary
+// rewrites the C-DP update so the register ends up pointing at a next hop
+// of the attacker's choosing (a blackhole), poisoning the reroute
+// decision. Impact: fraction of prefixes whose traffic lands on the wrong
+// next hop after the reroute wave.
+func RunBlink(variant Variant) (Result, error) {
+	const (
+		prefixes  = 64
+		primary   = 2
+		backup    = 3
+		blackhole = 9
+	)
+	atk := &attackState{
+		rewriteValue: func(reg string, index uint32, value uint64, down bool) (uint64, bool) {
+			if reg == "blink_nhop" && down {
+				return blackhole, true
+			}
+			return 0, false
+		},
+	}
+	r, err := newRig("blink", variant, []*pisa.RegisterDef{
+		{Name: "blink_nhop", Width: 16, Entries: prefixes},
+	}, atk)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Install the primary next hop for every prefix (clean boot: direct
+	// driver writes, inside the chip).
+	for i := 0; i < prefixes; i++ {
+		if err := r.sw.Host.SW.RegisterWrite("blink_nhop", i, primary); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Failure wave: the controller reroutes every prefix to the backup via
+	// C-DP writes — the attacked path.
+	for i := 0; i < prefixes; i++ {
+		err := r.write(variant, "blink_nhop", uint32(i), backup)
+		if err != nil && !isTampered(err) {
+			return Result{}, err
+		}
+		// On detection the controller retries over a quarantined path —
+		// modeled as a direct driver write after isolating the backdoor
+		// (the paper: operator isolates the suspicious switch).
+		if err != nil && isTampered(err) {
+			if werr := r.sw.Host.SW.RegisterWrite("blink_nhop", i, backup); werr != nil {
+				return Result{}, werr
+			}
+		}
+	}
+
+	// Measure where traffic would go.
+	wrong := 0
+	for i := 0; i < prefixes; i++ {
+		v, err := r.sw.Host.SW.RegisterRead("blink_nhop", i)
+		if err != nil {
+			return Result{}, err
+		}
+		if v != backup {
+			wrong++
+		}
+	}
+	return Result{
+		System:  "Blink (FRR)",
+		Variant: variant,
+		Impact:  float64(wrong) / prefixes,
+		Metric:  "prefixes misrouted after reroute",
+		Alerts:  len(r.ctrl.Alerts()),
+	}, nil
+}

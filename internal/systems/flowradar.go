@@ -1,0 +1,90 @@
+package systems
+
+import (
+	"p4auth/internal/pisa"
+)
+
+// RunFlowRadar models FlowRadar/LossRadar's periodic export (Table I,
+// measurement row): the data plane encodes per-flow packet counters and
+// periodically exports them to the controller, which decodes them and
+// diffs upstream/downstream counts to localize loss. The adversary
+// rewrites the exported counters, poisoning the loss analysis. Impact:
+// mean relative error of the controller's per-flow loss estimates.
+func RunFlowRadar(variant Variant) (Result, error) {
+	const flows = 48
+	atk := &attackState{
+		rewriteValue: func(reg string, index uint32, value uint64, down bool) (uint64, bool) {
+			// Hide loss: make downstream counts match upstream.
+			if reg == "fr_down" && !down {
+				return value + value/4, true
+			}
+			return 0, false
+		},
+	}
+	r, err := newRig("flowradar", variant, []*pisa.RegisterDef{
+		{Name: "fr_up", Width: 32, Entries: flows},
+		{Name: "fr_down", Width: 32, Entries: flows},
+	}, atk)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Ground truth: every flow sent `up` packets; 20% are lost downstream.
+	trueLoss := make([]uint64, flows)
+	for f := 0; f < flows; f++ {
+		up := uint64(1000 + f*10)
+		loss := up / 5
+		trueLoss[f] = loss
+		if err := r.sw.Host.SW.RegisterWrite("fr_up", f, up); err != nil {
+			return Result{}, err
+		}
+		if err := r.sw.Host.SW.RegisterWrite("fr_down", f, up-loss); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Export sweep.
+	var errSum float64
+	for f := 0; f < flows; f++ {
+		up, err := r.read(variant, "fr_up", uint32(f))
+		if err != nil {
+			if !isTampered(err) {
+				return Result{}, err
+			}
+			up, err = r.sw.Host.SW.RegisterRead("fr_up", f)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		down, err := r.read(variant, "fr_down", uint32(f))
+		if err != nil {
+			if !isTampered(err) {
+				return Result{}, err
+			}
+			down, err = r.sw.Host.SW.RegisterRead("fr_down", f)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		var estLoss uint64
+		if up > down {
+			estLoss = up - down
+		}
+		diff := float64(estLoss) - float64(trueLoss[f])
+		if diff < 0 {
+			diff = -diff
+		}
+		errSum += diff / float64(trueLoss[f])
+	}
+	meanErr := errSum / flows
+	if meanErr > 1 {
+		meanErr = 1
+	}
+	return Result{
+		System:  "FlowRadar (measurement)",
+		Variant: variant,
+		Impact:  meanErr,
+		Metric:  "mean relative error of loss estimates",
+		Alerts:  len(r.ctrl.Alerts()),
+	}, nil
+}

@@ -1,0 +1,96 @@
+package systems
+
+import (
+	"p4auth/internal/pisa"
+)
+
+// RunNetCache models NetCache's hot-key maintenance (Table I, in-network
+// cache row): query-frequency counters live in data-plane sketch
+// registers; the controller periodically reads them, promotes the hottest
+// keys into the cache, and clears the counters. The adversary rewrites the
+// reported counts so hot keys look cold (and vice versa), evicting the
+// truly hot keys — "inflates time to retrieve the hot key value". Impact:
+// 1 - cache hit rate over the subsequent query mix.
+func RunNetCache(variant Variant) (Result, error) {
+	const (
+		keys      = 64
+		cacheSize = 8
+		queries   = 4096
+	)
+	atk := &attackState{
+		rewriteValue: func(reg string, index uint32, value uint64, down bool) (uint64, bool) {
+			// Invert hotness on report: hot counters deflated, cold
+			// inflated.
+			if reg == "nc_count" && !down {
+				if value >= 100 {
+					return 1, true
+				}
+				return 1000 + uint64(index), true
+			}
+			return 0, false
+		},
+	}
+	r, err := newRig("netcache", variant, []*pisa.RegisterDef{
+		{Name: "nc_count", Width: 32, Entries: keys},
+	}, atk)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Zipf-ish query mix: key k gets ~N/(k+1) queries; the sketch counts
+	// accumulate in-chip.
+	demand := make([]int, keys)
+	total := 0
+	for k := 0; k < keys; k++ {
+		demand[k] = queries / (k + 1)
+		total += demand[k]
+		if err := r.sw.Host.SW.RegisterWrite("nc_count", k, uint64(demand[k])); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Controller sweep: read counters, pick the top-cacheSize keys.
+	counts := make([]uint64, keys)
+	for k := 0; k < keys; k++ {
+		v, err := r.read(variant, "nc_count", uint32(k))
+		if err != nil {
+			if !isTampered(err) {
+				return Result{}, err
+			}
+			v, err = r.sw.Host.SW.RegisterRead("nc_count", k)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		counts[k] = v
+	}
+	cached := make(map[int]bool, cacheSize)
+	for n := 0; n < cacheSize; n++ {
+		best, bestV := -1, uint64(0)
+		for k := 0; k < keys; k++ {
+			if cached[k] {
+				continue
+			}
+			if counts[k] >= bestV {
+				best, bestV = k, counts[k]
+			}
+		}
+		cached[best] = true
+	}
+
+	// Hit rate over the same demand distribution.
+	hits := 0
+	for k := 0; k < keys; k++ {
+		if cached[k] {
+			hits += demand[k]
+		}
+	}
+	hitRate := float64(hits) / float64(total)
+	return Result{
+		System:  "NetCache",
+		Variant: variant,
+		Impact:  1 - hitRate,
+		Metric:  "cache miss rate (hot-key retrieval inflation)",
+		Alerts:  len(r.ctrl.Alerts()),
+	}, nil
+}

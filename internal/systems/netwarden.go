@@ -1,0 +1,94 @@
+package systems
+
+import (
+	"p4auth/internal/pisa"
+)
+
+// RunNetwarden models Netwarden's covert-channel mitigation (Table I,
+// IDS/IPS row): the data plane records inter-packet-delay (IPD) statistics
+// for suspicious connections; the controller reads them, classifies
+// timing-channel connections (high IPD regularity score), and writes the
+// verdict back so the data plane normalizes/blocks them. The adversary
+// rewrites the reported IPD scores so covert connections classify as
+// benign — "evasion of malicious traffic detection". Impact: fraction of
+// covert connections that evade.
+func RunNetwarden(variant Variant) (Result, error) {
+	const (
+		conns     = 32
+		covertSet = 8 // first 8 connections are covert channels
+		threshold = 800
+	)
+	atk := &attackState{
+		rewriteValue: func(reg string, index uint32, value uint64, down bool) (uint64, bool) {
+			// Deflate reported scores on the way UP so covert traffic
+			// looks benign.
+			if reg == "nw_ipd_score" && !down && value >= threshold {
+				return threshold / 2, true
+			}
+			return 0, false
+		},
+	}
+	r, err := newRig("netwarden", variant, []*pisa.RegisterDef{
+		{Name: "nw_ipd_score", Width: 32, Entries: conns},
+		{Name: "nw_verdict", Width: 8, Entries: conns},
+	}, atk)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// The data plane's passive IPD measurement (in-chip, trusted): covert
+	// channels show high regularity scores.
+	for i := 0; i < conns; i++ {
+		score := uint64(100 + i*7)
+		if i < covertSet {
+			score = 900 + uint64(i*13)
+		}
+		if err := r.sw.Host.SW.RegisterWrite("nw_ipd_score", i, score); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Controller sweep: read scores, write verdicts.
+	evaded := 0
+	for i := 0; i < conns; i++ {
+		score, err := r.read(variant, "nw_ipd_score", uint32(i))
+		if err != nil {
+			if !isTampered(err) {
+				return Result{}, err
+			}
+			// Detected: re-read through the quarantined path.
+			score, err = r.sw.Host.SW.RegisterRead("nw_ipd_score", i)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		verdict := uint64(0)
+		if score >= threshold {
+			verdict = 1 // block/normalize
+		}
+		if err := r.write(variant, "nw_verdict", uint32(i), verdict); err != nil {
+			if !isTampered(err) {
+				return Result{}, err
+			}
+			if werr := r.sw.Host.SW.RegisterWrite("nw_verdict", i, verdict); werr != nil {
+				return Result{}, werr
+			}
+		}
+	}
+	for i := 0; i < covertSet; i++ {
+		v, err := r.sw.Host.SW.RegisterRead("nw_verdict", i)
+		if err != nil {
+			return Result{}, err
+		}
+		if v == 0 {
+			evaded++
+		}
+	}
+	return Result{
+		System:  "Netwarden (IDS)",
+		Variant: variant,
+		Impact:  float64(evaded) / covertSet,
+		Metric:  "covert connections evading detection",
+		Alerts:  len(r.ctrl.Alerts()),
+	}, nil
+}

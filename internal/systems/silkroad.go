@@ -1,0 +1,76 @@
+package systems
+
+import (
+	"p4auth/internal/pisa"
+)
+
+// RunSilkRoad models SilkRoad's DIP-pool migration (Table I, LB row): the
+// data plane holds a transit epoch marker; connections hashed into the
+// transit window use the *old* DIP pool until the controller clears the
+// marker after all pending connections are in the connection table. The
+// adversary suppresses/garbles the clear message, so new connections keep
+// being pinned to retired DIPs — the "wrong VIP during LB" impact. Impact
+// metric: fraction of new connections sent to a retired DIP.
+func RunSilkRoad(variant Variant) (Result, error) {
+	const (
+		conns   = 200
+		oldDIP  = 1
+		newDIP  = 2
+		retired = 1 // epoch value meaning "transit: use old pool"
+		done    = 0
+	)
+	atk := &attackState{
+		rewriteValue: func(reg string, index uint32, value uint64, down bool) (uint64, bool) {
+			// Rewrite the clear (0) back into "transit" so the old pool
+			// stays live.
+			if reg == "silk_transit" && down && value == done {
+				return retired, true
+			}
+			return 0, false
+		},
+	}
+	r, err := newRig("silkroad", variant, []*pisa.RegisterDef{
+		{Name: "silk_transit", Width: 8, Entries: 1},
+	}, atk)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Migration starts: transit marker set (legitimately).
+	if err := r.sw.Host.SW.RegisterWrite("silk_transit", 0, retired); err != nil {
+		return Result{}, err
+	}
+	// Migration completes: the controller clears the marker over C-DP.
+	if err := r.write(variant, "silk_transit", 0, done); err != nil {
+		if !isTampered(err) {
+			return Result{}, err
+		}
+		// Detected: clear through the quarantined path.
+		if werr := r.sw.Host.SW.RegisterWrite("silk_transit", 0, done); werr != nil {
+			return Result{}, werr
+		}
+	}
+
+	// New connections arrive; the data plane picks the pool by the marker.
+	wrong := 0
+	for i := 0; i < conns; i++ {
+		marker, err := r.sw.Host.SW.RegisterRead("silk_transit", 0)
+		if err != nil {
+			return Result{}, err
+		}
+		dip := newDIP
+		if marker == retired {
+			dip = oldDIP
+		}
+		if dip != newDIP {
+			wrong++
+		}
+	}
+	return Result{
+		System:  "SilkRoad (LB)",
+		Variant: variant,
+		Impact:  float64(wrong) / conns,
+		Metric:  "connections pinned to retired DIPs",
+		Alerts:  len(r.ctrl.Alerts()),
+	}, nil
+}

@@ -1,0 +1,182 @@
+// Package systems implements miniature versions of the five in-network
+// system classes of Table I — fast reroute (Blink), load balancing
+// (SilkRoad), intrusion detection (Netwarden), in-network caching
+// (NetCache), and measurement (FlowRadar) — each with the C-DP
+// update/report messages the paper's adversary targets, an attack that
+// alters them at the switch software stack, and the P4Auth-protected
+// variant.
+//
+// Each system's controller loop and register plumbing is fully real (the
+// attack surface); the surrounding traffic behaviour is a compact
+// deterministic model sufficient to quantify the Table I impact column.
+package systems
+
+import (
+	"errors"
+	"fmt"
+
+	"p4auth/internal/controller"
+	"p4auth/internal/core"
+	"p4auth/internal/crypto"
+	"p4auth/internal/deploy"
+	"p4auth/internal/pisa"
+	"p4auth/internal/switchos"
+)
+
+// Variant selects the experimental arm.
+type Variant int
+
+// Experiment arms.
+const (
+	Clean Variant = iota + 1
+	Attacked
+	Protected // attacked + P4Auth
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Clean:
+		return "clean"
+	case Attacked:
+		return "attacked"
+	case Protected:
+		return "protected"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Result is one system's outcome under one variant.
+type Result struct {
+	System  string
+	Variant Variant
+	// Impact is the system-specific damage metric in [0,1]; 0 = intact.
+	Impact float64
+	// Metric names the impact dimension (Table I's right column).
+	Metric string
+	// Alerts raised (only nonzero under Protected).
+	Alerts int
+}
+
+// rig is the shared deployment: one switch with the system's registers,
+// a controller, and optionally the MitM.
+type rig struct {
+	sw   *deploy.Switch
+	ctrl *controller.Controller
+	mitm *attackState
+}
+
+type attackState struct {
+	rewriteValue func(reg string, index uint32, value uint64, toDataPlane bool) (uint64, bool)
+}
+
+func newRig(name string, variant Variant, regs []*pisa.RegisterDef, atk *attackState) (*rig, error) {
+	sw, err := deploy.Build(deploy.SwitchSpec{
+		Name:      name,
+		Ports:     4,
+		Insecure:  variant != Protected,
+		Registers: regs,
+		RandSeed:  0x5157 + uint64(variant),
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctrl := controller.New(crypto.NewSeededRand(0xC7 + uint64(variant)))
+	if err := ctrl.Register(name, sw.Host, sw.Cfg, 0); err != nil {
+		return nil, err
+	}
+	r := &rig{sw: sw, ctrl: ctrl}
+	if variant == Protected {
+		if _, err := ctrl.LocalKeyInit(name); err != nil {
+			return nil, err
+		}
+	}
+	if variant != Clean && atk != nil {
+		r.mitm = atk
+		if err := r.installMitM(atk); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// installMitM interposes on P4Auth/DP-Reg-RW PacketOut and PacketIn
+// traffic, rewriting register values per the attack function.
+func (r *rig) installMitM(atk *attackState) error {
+	rewrite := func(data []byte, down bool) []byte {
+		m, err := core.DecodeMessage(data)
+		if err != nil || m.Reg == nil || m.HdrType != core.HdrRegister {
+			return data
+		}
+		name := r.regName(m.Reg.RegID)
+		if name == "" {
+			return data
+		}
+		nv, hit := atk.rewriteValue(name, m.Reg.Index, m.Reg.Value, down)
+		if !hit {
+			return data
+		}
+		m.Reg.Value = nv
+		out, err := m.Encode()
+		if err != nil {
+			return data
+		}
+		return out
+	}
+	return r.sw.Host.Install(switchos.BoundaryAgentSDK, &switchos.Hooks{
+		OnPacketOut: func(data []byte) []byte { return rewrite(data, true) },
+		OnPacketIn:  func(data []byte) []byte { return rewrite(data, false) },
+	})
+}
+
+func (r *rig) regName(id uint32) string {
+	for _, ri := range r.sw.Host.Info.Registers {
+		if ri.ID == id {
+			return ri.Name
+		}
+	}
+	return ""
+}
+
+// read/write route through the mode matching the variant; on tamper
+// detection the controller behaviour (skip the update) is applied by the
+// caller.
+func (r *rig) read(variant Variant, name string, index uint32) (uint64, error) {
+	if variant == Protected {
+		v, _, err := r.ctrl.ReadRegister(r.name(), name, index)
+		return v, err
+	}
+	v, _, err := r.ctrl.ReadRegisterInsecure(r.name(), name, index)
+	return v, err
+}
+
+func (r *rig) write(variant Variant, name string, index uint32, v uint64) error {
+	if variant == Protected {
+		_, err := r.ctrl.WriteRegister(r.name(), name, index, v)
+		return err
+	}
+	_, err := r.ctrl.WriteRegisterInsecure(r.name(), name, index, v)
+	return err
+}
+
+func (r *rig) name() string { return r.sw.Host.Name }
+
+func isTampered(err error) bool { return errors.Is(err, controller.ErrTampered) }
+
+// RunAll executes every system under every variant.
+func RunAll() ([]Result, error) {
+	runners := []func(Variant) (Result, error){
+		RunBlink, RunSilkRoad, RunNetwarden, RunNetCache, RunFlowRadar,
+	}
+	var out []Result
+	for _, run := range runners {
+		for _, v := range []Variant{Clean, Attacked, Protected} {
+			res, err := run(v)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}

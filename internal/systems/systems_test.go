@@ -1,0 +1,75 @@
+package systems
+
+import "testing"
+
+func TestAllSystemsImpactPattern(t *testing.T) {
+	results, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 15 {
+		t.Fatalf("got %d results, want 5 systems x 3 variants", len(results))
+	}
+	byKey := make(map[string]map[Variant]Result)
+	for _, r := range results {
+		if byKey[r.System] == nil {
+			byKey[r.System] = make(map[Variant]Result)
+		}
+		byKey[r.System][r.Variant] = r
+	}
+	for sys, vs := range byKey {
+		clean, attacked, protected := vs[Clean], vs[Attacked], vs[Protected]
+		// The Table I pattern: the attack inflates the impact metric;
+		// P4Auth restores it to (near) the clean level.
+		if attacked.Impact <= clean.Impact+0.1 {
+			t.Errorf("%s: attack had no impact (clean %.2f, attacked %.2f)", sys, clean.Impact, attacked.Impact)
+		}
+		if protected.Impact > clean.Impact+0.05 {
+			t.Errorf("%s: P4Auth did not restore behaviour (clean %.2f, protected %.2f)", sys, clean.Impact, protected.Impact)
+		}
+		if protected.Alerts == 0 {
+			t.Errorf("%s: protected run raised no alerts", sys)
+		}
+		if clean.Alerts != 0 {
+			t.Errorf("%s: clean run raised %d alerts", sys, clean.Alerts)
+		}
+		if attacked.Alerts != 0 {
+			t.Errorf("%s: unprotected attacked run raised %d alerts (nothing to detect with)", sys, attacked.Alerts)
+		}
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Clean.String() != "clean" || Attacked.String() != "attacked" || Protected.String() != "protected" {
+		t.Error("variant names")
+	}
+	if Variant(99).String() == "" {
+		t.Error("unknown variant must stringify")
+	}
+}
+
+func TestEachSystemIndividually(t *testing.T) {
+	runs := map[string]func(Variant) (Result, error){
+		"blink":     RunBlink,
+		"silkroad":  RunSilkRoad,
+		"netwarden": RunNetwarden,
+		"netcache":  RunNetCache,
+		"flowradar": RunFlowRadar,
+	}
+	for name, run := range runs {
+		t.Run(name, func(t *testing.T) {
+			for _, v := range []Variant{Clean, Attacked, Protected} {
+				res, err := run(v)
+				if err != nil {
+					t.Fatalf("%v: %v", v, err)
+				}
+				if res.Impact < 0 || res.Impact > 1 {
+					t.Errorf("%v impact out of range: %f", v, res.Impact)
+				}
+				if res.Metric == "" || res.System == "" {
+					t.Errorf("%v: missing labels", v)
+				}
+			}
+		})
+	}
+}

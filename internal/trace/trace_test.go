@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(uint64(100 * time.Millisecond))
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+	cfg.Seed++
+	c := Generate(cfg)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateOrderedAndBounded(t *testing.T) {
+	cfg := DefaultConfig(uint64(200 * time.Millisecond))
+	pkts := Generate(cfg)
+	var last uint64
+	for i, p := range pkts {
+		if p.AtNs < last {
+			t.Fatalf("packet %d out of order: %d < %d", i, p.AtNs, last)
+		}
+		last = p.AtNs
+		if p.AtNs >= cfg.DurationNs {
+			t.Fatalf("packet %d beyond duration", i)
+		}
+		if p.Size != cfg.PacketBytes {
+			t.Fatalf("packet %d size %d", i, p.Size)
+		}
+	}
+}
+
+func TestGenerateHeavyTail(t *testing.T) {
+	cfg := DefaultConfig(uint64(2 * time.Second))
+	cfg.Seed = 7
+	pkts := Generate(cfg)
+	st := Summarize(pkts)
+	if st.Flows < 100 {
+		t.Fatalf("only %d flows", st.Flows)
+	}
+	mean := float64(st.Packets) / float64(st.Flows)
+	// Heavy tail: the largest flow should far exceed the mean.
+	if float64(st.MaxFlowPk) < 4*mean {
+		t.Errorf("max flow %d vs mean %.1f: tail not heavy", st.MaxFlowPk, mean)
+	}
+	if st.MaxFlowPk > cfg.MaxFlowPackets {
+		t.Errorf("flow length %d exceeds truncation %d", st.MaxFlowPk, cfg.MaxFlowPackets)
+	}
+	if st.Bytes != uint64(st.Packets*cfg.PacketBytes) {
+		t.Error("byte accounting")
+	}
+}
+
+func TestGenerateArrivalRateApproximatesConfig(t *testing.T) {
+	cfg := DefaultConfig(uint64(5 * time.Second))
+	cfg.FlowsPerSecond = 500
+	st := Summarize(Generate(cfg))
+	expected := 500.0 * 5
+	ratio := float64(st.Flows) / expected
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("flows = %d, expected ~%.0f (ratio %.2f)", st.Flows, expected, ratio)
+	}
+}

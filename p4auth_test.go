@@ -1,0 +1,78 @@
+package p4auth
+
+import (
+	"errors"
+	"testing"
+
+	"p4auth/internal/crypto"
+	"p4auth/internal/switchos"
+)
+
+// TestFacadeEndToEnd exercises the library exactly as the README's
+// quickstart does, through the re-exported facade.
+func TestFacadeEndToEnd(t *testing.T) {
+	sw, err := BuildSwitch(SwitchSpec{
+		Name:  "f1",
+		Ports: 4,
+		Registers: []*RegisterDef{
+			{Name: "lat", Width: 32, Entries: 8},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := NewController(crypto.NewSeededRand(1))
+	if err := ctrl.Register("f1", sw.Host, sw.Cfg, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.LocalKeyInit("f1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.WriteRegister("f1", "lat", 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := ctrl.ReadRegister("f1", "lat", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("read %d", v)
+	}
+
+	// Attack through the facade-visible Hooks type.
+	var hooks Hooks
+	hooks.OnPacketIn = func(data []byte) []byte {
+		if len(data) > 20 {
+			data[len(data)-1] ^= 0xFF // corrupt the payload tail
+		}
+		return data
+	}
+	if err := sw.Host.Install(switchos.BoundaryAgentSDK, &hooks); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ctrl.ReadRegister("f1", "lat", 0); !errors.Is(err, ErrTampered) {
+		t.Fatalf("want ErrTampered, got %v", err)
+	}
+}
+
+func TestFacadeProfilesAndConfig(t *testing.T) {
+	tp, bp := TofinoProfile(), BMv2Profile()
+	if tp.Name != "tofino" || bp.Name != "bmv2" {
+		t.Error("profile names")
+	}
+	cfg := DefaultConfig(4, DigestCRC32)
+	if cfg.Ports != 4 {
+		t.Error("config ports")
+	}
+	if _, err := cfg.Digester(); err != nil {
+		t.Error(err)
+	}
+	cfg2 := DefaultConfig(4, DigestHalfSipHash)
+	d, err := cfg2.Digester()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "halfsiphash-2-4" {
+		t.Errorf("digester = %s", d.Name())
+	}
+}
