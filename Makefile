@@ -1,0 +1,26 @@
+# Developer entry points. `make check` is the full gate the CI and the
+# acceptance criteria run: build, vet, and the test suite with the race
+# detector on.
+
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full evaluation benchmarks (Table I/II/III, Fig. 16-20). Slow; the test
+# targets above skip them via -short where applicable.
+bench:
+	$(GO) test -bench=. -benchmem ./...

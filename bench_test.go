@@ -15,6 +15,9 @@ import (
 
 func benchReport(b *testing.B, run func() (*bench.Report, error)) {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("skipping evaluation benchmark in -short mode")
+	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rep, err := run()

@@ -15,10 +15,12 @@ package controller
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"p4auth/internal/core"
 	"p4auth/internal/crypto"
+	"p4auth/internal/netsim"
 	"p4auth/internal/p4rt"
 	"p4auth/internal/pisa"
 	"p4auth/internal/switchos"
@@ -75,6 +77,10 @@ type swHandle struct {
 	seq     *core.SeqTracker
 	info    *p4rt.P4Info
 	linkLat time.Duration // one-way controller<->switch latency
+	// Fault-injection taps on the control channel (SetControlTaps):
+	// outTap sees PacketOuts, inTap sees PacketIns; nil return = drop.
+	outTap netsim.Tap
+	inTap  netsim.Tap
 }
 
 type portKey struct {
@@ -88,24 +94,38 @@ type peerRef struct {
 	lat  time.Duration // one-way link latency
 }
 
-// Controller manages a set of P4Auth switches. It is synchronous by
-// design (each call completes a full request/response round) and not safe
-// for concurrent use; serialize access externally if sharing one across
-// goroutines.
+// Controller manages a set of P4Auth switches. Operations are synchronous
+// by design (each call completes a full request/response round) and must
+// be serialized externally, but the observability accessors — Stats,
+// Alerts, Outstanding, HealthOf — are safe to call concurrently with an
+// in-flight operation (a DoS monitor polling mid-exchange).
 type Controller struct {
 	rng      crypto.RandomSource
 	switches map[string]*swHandle
 	adj      map[portKey]peerRef
-	alerts   []Alert
-	stats    Stats
+
+	// mu guards the mutable observable state (stats, alerts, health) and
+	// the resilience configuration.
+	mu        sync.Mutex
+	alerts    []Alert
+	stats     Stats
+	retry     RetryPolicy
+	healthPol HealthPolicy
+	health    map[string]*Health
+	clock     Clock
+	linkTaps  map[portKey]netsim.Tap
 }
 
 // New returns a controller using rng for salts and private secrets.
 func New(rng crypto.RandomSource) *Controller {
 	return &Controller{
-		rng:      rng,
-		switches: make(map[string]*swHandle),
-		adj:      make(map[portKey]peerRef),
+		rng:       rng,
+		switches:  make(map[string]*swHandle),
+		adj:       make(map[portKey]peerRef),
+		retry:     DefaultRetryPolicy,
+		healthPol: DefaultHealthPolicy,
+		health:    make(map[string]*Health),
+		linkTaps:  make(map[portKey]netsim.Tap),
 	}
 }
 
@@ -147,11 +167,19 @@ func (c *Controller) ConnectSwitches(a string, pa int, b string, pb int, lat tim
 	return nil
 }
 
-// Alerts returns collected alerts.
-func (c *Controller) Alerts() []Alert { return append([]Alert(nil), c.alerts...) }
+// Alerts returns collected alerts. Safe during in-flight exchanges.
+func (c *Controller) Alerts() []Alert {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Alert(nil), c.alerts...)
+}
 
-// Stats returns traffic accounting.
-func (c *Controller) Stats() Stats { return c.stats }
+// Stats returns traffic accounting. Safe during in-flight exchanges.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
 
 // Outstanding reports unanswered requests for a switch (DoS indicator).
 func (c *Controller) Outstanding(name string) (int, error) {
@@ -173,41 +201,14 @@ func (c *Controller) handle(name string) (*swHandle, error) {
 // exchange sends one P4Auth message to a switch over the control channel
 // and returns decoded PacketIn responses plus the modeled latency of the
 // full round (link out + stack/pipeline + link back when a response
-// exists).
+// exists). One attempt; the retransmission engine lives in transact.
 func (c *Controller) exchange(h *swHandle, m *core.Message) ([]*core.Message, time.Duration, error) {
 	data, err := m.Encode()
 	if err != nil {
 		return nil, 0, err
 	}
-	c.stats.MessagesSent++
-	c.stats.BytesSent += len(data)
-
-	res, err := h.host.PacketOut(data)
-	if err != nil {
-		return nil, 0, err
-	}
-	lat := h.linkLat + res.Cost
-	var out []*core.Message
-	for _, pin := range res.PacketIns {
-		c.stats.MessagesRecvd++
-		c.stats.BytesRecvd += len(pin)
-		r, err := core.DecodeMessage(pin)
-		if err != nil {
-			return nil, lat, fmt.Errorf("controller: %s: bad PacketIn: %w", h.name, err)
-		}
-		out = append(out, r)
-	}
-	if len(out) > 0 {
-		lat += h.linkLat
-	}
-	// Relay any DP-DP emissions (direct port-key exchanges) across the
-	// registered adjacency until the fabric is quiescent.
-	relayLat, err := c.relay(h, res.NetOut)
-	if err != nil {
-		return nil, lat, err
-	}
-	lat += relayLat
-	return out, lat, nil
+	out, lat, _, _, err := c.exchangeBytes(h, data)
+	return out, lat, err
 }
 
 // relay walks NetOut emissions across links, injecting them at the peer
@@ -233,18 +234,32 @@ func (c *Controller) relay(from *swHandle, ems []pisa.Emission) (time.Duration, 
 		if !ok {
 			continue // dangling port: drop, as a real link-less port would
 		}
+		data := h.em.Data
+		c.mu.Lock()
+		tap := c.linkTaps[portKey{h.sw.name, h.em.Port}]
+		c.mu.Unlock()
+		if tap != nil {
+			data = tap(data)
+		}
+		if data == nil {
+			continue // dropped in flight by a fault tap
+		}
 		dst := c.switches[peer.sw]
 		total += peer.lat
-		res, err := dst.host.NetworkPacket(peer.port, h.em.Data)
+		res, err := dst.host.NetworkPacket(peer.port, data)
 		if err != nil {
 			return total, err
 		}
 		total += res.Cost
 		for _, pin := range res.PacketIns {
+			c.mu.Lock()
 			c.stats.MessagesRecvd++
 			c.stats.BytesRecvd += len(pin)
+			c.mu.Unlock()
 			if r, err := core.DecodeMessage(pin); err == nil && r.HdrType == core.HdrAlert {
+				c.mu.Lock()
 				c.alerts = append(c.alerts, Alert{Switch: dst.name, Reason: r.MsgType, SeqNum: r.SeqNum})
+				c.mu.Unlock()
 			}
 		}
 		for _, em := range res.NetOut {
@@ -272,27 +287,9 @@ func (h *swHandle) signedMessage(hdrType, msgType uint8, reg *core.RegPayload, k
 	return m, nil
 }
 
-// checkResponse authenticates a response and settles its sequence number.
+// checkResponse authenticates a response and settles its sequence number
+// (the single-attempt/final form of vetResponses).
 func (c *Controller) checkResponse(h *swHandle, req *core.Message, r *core.Message) error {
-	key, err := h.keys.At(core.KeyIndexLocal, r.KeyVersion)
-	if err != nil {
-		return fmt.Errorf("%w: unknown key version %d", ErrTampered, r.KeyVersion)
-	}
-	if !r.Verify(h.dig, key) {
-		// Detection of misreported statistics (Fig. 9): the controller
-		// itself raises the alert when a response fails verification.
-		c.alerts = append(c.alerts, Alert{Switch: h.name, Reason: core.AlertBadDigest, SeqNum: r.SeqNum})
-		return fmt.Errorf("%w: response digest mismatch on %s", ErrTampered, h.name)
-	}
-	if r.SeqNum != req.SeqNum {
-		return fmt.Errorf("%w: response seq %d for request %d", ErrTampered, r.SeqNum, req.SeqNum)
-	}
-	if err := h.seq.Settle(r.SeqNum); err != nil {
-		return fmt.Errorf("%w: %v", ErrTampered, err)
-	}
-	if r.HdrType == core.HdrAlert {
-		c.alerts = append(c.alerts, Alert{Switch: h.name, Reason: r.MsgType, SeqNum: r.SeqNum})
-		return fmt.Errorf("%w: data plane raised alert reason %d", ErrTampered, r.MsgType)
-	}
-	return nil
+	_, err := c.vetResponses(h, req, []*core.Message{r}, true)
+	return err
 }

@@ -9,8 +9,13 @@ import (
 
 // LocalKeyInit runs the local-key initialization of Fig. 14(a): an EAK
 // exchange deriving K_auth from the pre-shared seed, then an ADHKD
-// exchange deriving K_local. Four messages total.
+// exchange deriving K_local. Four messages total in the default
+// single-shot mode; under a retransmission policy (SetRetryPolicy) each
+// exchange is retried, confirmed, and resynced on interruption.
 func (c *Controller) LocalKeyInit(sw string) (KMPResult, error) {
+	if c.resilient() {
+		return c.localKeyInitResilient(sw)
+	}
 	h, err := c.handle(sw)
 	if err != nil {
 		return KMPResult{}, err
@@ -58,8 +63,11 @@ func (c *Controller) LocalKeyInit(sw string) (KMPResult, error) {
 }
 
 // LocalKeyUpdate runs the rollover of Fig. 14(b): one ADHKD exchange under
-// the current local key. Two messages.
+// the current local key. Two messages (single-shot mode).
 func (c *Controller) LocalKeyUpdate(sw string) (KMPResult, error) {
+	if c.resilient() {
+		return c.localKeyUpdateResilient(sw)
+	}
 	h, err := c.handle(sw)
 	if err != nil {
 		return KMPResult{}, err
@@ -109,6 +117,9 @@ func (c *Controller) localADHKD(h *swHandle) (KMPResult, error) {
 // with the respective local key. Five messages. The controller never
 // learns the derived port key.
 func (c *Controller) PortKeyInit(a string, pa int, b string, pb int) (KMPResult, error) {
+	if c.resilient() {
+		return c.portKeyInitResilient(a, pa, b, pb)
+	}
 	ha, err := c.handle(a)
 	if err != nil {
 		return KMPResult{}, err
@@ -189,6 +200,9 @@ func (c *Controller) PortKeyInit(a string, pa int, b string, pb int) (KMPResult,
 // ADHKD then travels directly between the data planes under the current
 // port key. Three messages (one C-DP, two DP-DP relayed by the fabric).
 func (c *Controller) PortKeyUpdate(a string, pa int) (KMPResult, error) {
+	if c.resilient() {
+		return c.portKeyUpdateResilient(a, pa)
+	}
 	ha, err := c.handle(a)
 	if err != nil {
 		return KMPResult{}, err

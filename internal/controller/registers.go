@@ -9,43 +9,14 @@ import (
 
 // ReadRegister performs an authenticated register read (the P4Auth path of
 // Fig. 8/15): a signed readReq PacketOut, digest-verified ack PacketIn.
+// With a retransmission policy set, lost or corrupted rounds are retried.
 func (c *Controller) ReadRegister(sw, register string, index uint32) (uint64, time.Duration, error) {
 	h, err := c.handle(sw)
 	if err != nil {
 		return 0, 0, err
 	}
-	ri, err := h.info.RegisterByName(register)
-	if err != nil {
-		return 0, 0, err
-	}
-	req, err := h.signedMessage(core.HdrRegister, core.MsgReadReq,
-		&core.RegPayload{RegID: ri.ID, Index: index}, nil)
-	if err != nil {
-		return 0, 0, err
-	}
-	resp, lat, err := c.exchange(h, req)
-	lat += SignCost + VerifyCost
-	if err != nil {
-		return 0, lat, err
-	}
-	if len(resp) != 1 {
-		return 0, lat, fmt.Errorf("controller: %s: %d responses to readReq", sw, len(resp))
-	}
-	if err := c.checkResponse(h, req, resp[0]); err != nil {
-		return 0, lat, err
-	}
-	if resp[0].MsgType == core.MsgNAck {
-		return 0, lat, fmt.Errorf("%w: read %s[%d] on %s", ErrNAck, register, index, sw)
-	}
-	value := resp[0].Reg.Value
-	if h.cfg.Encrypt {
-		key, err := h.keys.At(core.KeyIndexLocal, resp[0].KeyVersion)
-		if err != nil {
-			return 0, lat, err
-		}
-		value = core.EncryptResponseValue(h.dig, key, resp[0].SeqNum, value)
-	}
-	return value, lat, nil
+	value, x, err := c.regRead(h, register, index)
+	return value, x.lat + SignCost + VerifyCost, err
 }
 
 // WriteRegister performs an authenticated register write.
@@ -54,53 +25,85 @@ func (c *Controller) WriteRegister(sw, register string, index uint32, value uint
 	if err != nil {
 		return 0, err
 	}
+	x, err := c.regWrite(h, register, index, value)
+	return x.lat + SignCost + VerifyCost, err
+}
+
+// regRead is the transact-based register read used by both the public API
+// and the KMP recovery procedures (which need the traffic accounting).
+func (c *Controller) regRead(h *swHandle, register string, index uint32) (uint64, *xfer, error) {
 	ri, err := h.info.RegisterByName(register)
 	if err != nil {
-		return 0, err
+		return 0, &xfer{}, err
 	}
+	req, err := h.signedMessage(core.HdrRegister, core.MsgReadReq,
+		&core.RegPayload{RegID: ri.ID, Index: index}, nil)
+	if err != nil {
+		return 0, &xfer{}, err
+	}
+	x, err := c.transact(h, req, true)
+	if err != nil {
+		return 0, x, err
+	}
+	if len(x.resp) != 1 {
+		return 0, x, fmt.Errorf("controller: %s: %d responses to readReq", h.name, len(x.resp))
+	}
+	r := x.resp[0]
+	if r.MsgType == core.MsgNAck {
+		return 0, x, fmt.Errorf("%w: read %s[%d] on %s", ErrNAck, register, index, h.name)
+	}
+	value := r.Reg.Value
+	if h.cfg.Encrypt {
+		key, err := h.keys.At(core.KeyIndexLocal, r.KeyVersion)
+		if err != nil {
+			return 0, x, err
+		}
+		value = core.EncryptResponseValue(h.dig, key, r.SeqNum, value)
+	}
+	return value, x, nil
+}
+
+// regWrite is the transact-based register write.
+func (c *Controller) regWrite(h *swHandle, register string, index uint32, value uint64) (*xfer, error) {
+	ri, err := h.info.RegisterByName(register)
+	if err != nil {
+		return &xfer{}, err
+	}
+	var req *core.Message
 	if h.cfg.Encrypt {
 		// §XI extension: encrypt-then-MAC — the keystream depends on the
 		// sequence number, which signedMessage assigns, so encrypt after
 		// building the message but before signing. Reserve the seq first.
 		key, ver, kerr := h.keys.Current(core.KeyIndexLocal)
 		if kerr != nil {
-			return 0, kerr
+			return &xfer{}, kerr
 		}
 		seq := h.seq.Next()
-		m := &core.Message{
+		req = &core.Message{
 			Header: core.Header{HdrType: core.HdrRegister, MsgType: core.MsgWriteReq, SeqNum: seq, KeyVersion: ver},
 			Reg:    &core.RegPayload{RegID: ri.ID, Index: index, Value: core.EncryptRequestValue(h.dig, key, seq, value)},
 		}
-		if err := m.Sign(h.dig, key); err != nil {
-			return 0, err
+		if err := req.Sign(h.dig, key); err != nil {
+			return &xfer{}, err
 		}
-		return c.finishWrite(h, m, sw, register, index)
+	} else {
+		req, err = h.signedMessage(core.HdrRegister, core.MsgWriteReq,
+			&core.RegPayload{RegID: ri.ID, Index: index, Value: value}, nil)
+		if err != nil {
+			return &xfer{}, err
+		}
 	}
-	req, err := h.signedMessage(core.HdrRegister, core.MsgWriteReq,
-		&core.RegPayload{RegID: ri.ID, Index: index, Value: value}, nil)
+	x, err := c.transact(h, req, true)
 	if err != nil {
-		return 0, err
+		return x, err
 	}
-	return c.finishWrite(h, req, sw, register, index)
-}
-
-// finishWrite completes a write exchange and validates the response.
-func (c *Controller) finishWrite(h *swHandle, req *core.Message, sw, register string, index uint32) (time.Duration, error) {
-	resp, lat, err := c.exchange(h, req)
-	lat += SignCost + VerifyCost
-	if err != nil {
-		return lat, err
+	if len(x.resp) != 1 {
+		return x, fmt.Errorf("controller: %s: %d responses to writeReq", h.name, len(x.resp))
 	}
-	if len(resp) != 1 {
-		return lat, fmt.Errorf("controller: %s: %d responses to writeReq", sw, len(resp))
+	if x.resp[0].MsgType == core.MsgNAck {
+		return x, fmt.Errorf("%w: write %s[%d] on %s", ErrNAck, register, index, h.name)
 	}
-	if err := c.checkResponse(h, req, resp[0]); err != nil {
-		return lat, err
-	}
-	if resp[0].MsgType == core.MsgNAck {
-		return lat, fmt.Errorf("%w: write %s[%d] on %s", ErrNAck, register, index, sw)
-	}
-	return lat, nil
+	return x, nil
 }
 
 // ReadRegisterInsecure is the DP-Reg-RW baseline read: same PacketOut

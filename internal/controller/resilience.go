@@ -1,0 +1,479 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"p4auth/internal/core"
+	"p4auth/internal/netsim"
+)
+
+// ErrTimeout is returned when a control-channel exchange exhausts its
+// retransmission budget without a verifiable response.
+var ErrTimeout = errors.New("controller: retransmission budget exhausted")
+
+// ErrQuarantined is returned for operations on a switch the health tracker
+// has circuit-broken after repeated unreachability.
+var ErrQuarantined = errors.New("controller: switch is quarantined")
+
+// RetryPolicy bounds the controller's retransmission behaviour on the
+// control channel. The zero value and DefaultRetryPolicy (MaxAttempts 1)
+// disable retransmission entirely, preserving the paper's exact message
+// counts (Table III); SetRetryPolicy with MaxAttempts > 1 opts a
+// controller into the resilient engine.
+type RetryPolicy struct {
+	// MaxAttempts is the number of times one message is sent before the
+	// exchange fails with ErrTimeout. 1 = no retransmission (legacy).
+	MaxAttempts int
+	// BaseBackoff is the wait before the second attempt; attempt n waits
+	// BaseBackoff << (n-2), capped at MaxBackoff. Deterministic: fault
+	// injection under a seeded tap replays identically.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential schedule.
+	MaxBackoff time.Duration
+	// FlowRetries is how many times a multi-message KMP flow is re-run
+	// from a clean, resynced key state after a transport failure.
+	FlowRetries int
+}
+
+// DefaultRetryPolicy is the legacy single-shot behaviour.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 1}
+
+// ResilientRetryPolicy returns the recommended opt-in policy: enough
+// budget to converge through 20% bidirectional loss with overwhelming
+// probability, with sub-millisecond virtual backoff.
+func ResilientRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 6,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  2 * time.Millisecond,
+		FlowRetries: 3,
+	}
+}
+
+// backoff returns the deterministic wait before the given attempt
+// (attempt 2 waits BaseBackoff; each further attempt doubles, capped).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	if attempt <= 1 || p.BaseBackoff <= 0 {
+		return 0
+	}
+	d := p.BaseBackoff
+	for i := 2; i < attempt; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// Clock is the virtual clock the retransmission engine waits on. A
+// netsim.Sim satisfies it; without one the controller only accounts the
+// backoff into the modeled latency.
+type Clock interface {
+	Advance(d time.Duration)
+}
+
+// HealthState classifies a switch's control-channel reachability.
+type HealthState int
+
+const (
+	// Healthy: recent exchanges completed within the retry budget.
+	Healthy HealthState = iota
+	// Degraded: some exchanges exhausted their budget; the switch is
+	// still served but the operator should investigate.
+	Degraded
+	// Quarantined: consecutive failures crossed the circuit-breaker
+	// threshold; operations fail fast with ErrQuarantined until
+	// ClearHealth.
+	Quarantined
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Quarantined:
+		return "quarantined"
+	}
+	return fmt.Sprintf("HealthState(%d)", int(s))
+}
+
+// HealthPolicy sets the consecutive-failure thresholds of the per-switch
+// circuit breaker. Failures are counted per exchange that exhausts its
+// retransmission budget; any verified success resets the streak.
+type HealthPolicy struct {
+	DegradeAfter    int
+	QuarantineAfter int
+}
+
+// DefaultHealthPolicy degrades after 2 consecutive budget exhaustions and
+// quarantines after 4.
+var DefaultHealthPolicy = HealthPolicy{DegradeAfter: 2, QuarantineAfter: 4}
+
+// Health is a switch's reachability record.
+type Health struct {
+	State       HealthState
+	Consecutive int // current failure streak
+	Failures    int // total budget exhaustions
+}
+
+// SetRetryPolicy opts the controller into (or out of) the resilient
+// exchange engine.
+func (c *Controller) SetRetryPolicy(p RetryPolicy) {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retry = p
+}
+
+// SetHealthPolicy replaces the circuit-breaker thresholds.
+func (c *Controller) SetHealthPolicy(p HealthPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.healthPol = p
+}
+
+// UseClock attaches a virtual clock (e.g. a netsim.Sim) that retransmission
+// backoff advances.
+func (c *Controller) UseClock(clk Clock) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock = clk
+}
+
+// SetControlTaps installs fault-injection taps on a switch's control
+// channel: out sees every PacketOut the controller emits, in sees every
+// PacketIn before the controller parses it. A nil return drops the packet.
+// Pass nil taps to clear.
+func (c *Controller) SetControlTaps(sw string, out, in netsim.Tap) error {
+	h, err := c.handle(sw)
+	if err != nil {
+		return err
+	}
+	h.outTap, h.inTap = out, in
+	return nil
+}
+
+// SetLinkTap installs a tap on the DP-DP emissions leaving a switch port
+// (relayed across the registered adjacency). A nil return drops the leg.
+func (c *Controller) SetLinkTap(sw string, port int, tap netsim.Tap) error {
+	if _, err := c.handle(sw); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tap == nil {
+		delete(c.linkTaps, portKey{sw, port})
+	} else {
+		c.linkTaps[portKey{sw, port}] = tap
+	}
+	return nil
+}
+
+// HealthOf returns the reachability record for a switch.
+func (c *Controller) HealthOf(sw string) (Health, error) {
+	if _, err := c.handle(sw); err != nil {
+		return Health{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h, ok := c.health[sw]; ok {
+		return *h, nil
+	}
+	return Health{}, nil
+}
+
+// ClearHealth resets a switch's circuit breaker (the operator declaring it
+// repaired).
+func (c *Controller) ClearHealth(sw string) error {
+	if _, err := c.handle(sw); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.health, sw)
+	return nil
+}
+
+// resilient reports whether the retransmission engine is enabled.
+func (c *Controller) resilient() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retry.MaxAttempts > 1
+}
+
+func (c *Controller) retryPolicy() RetryPolicy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retry
+}
+
+// noteSuccess resets a switch's failure streak.
+func (c *Controller) noteSuccess(h *swHandle) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rec, ok := c.health[h.name]; ok && rec.State != Quarantined {
+		rec.Consecutive = 0
+		rec.State = Healthy
+	}
+}
+
+// noteFailure records a budget exhaustion and trips the circuit breaker at
+// the policy thresholds, emitting an AlertUnreachable on quarantine.
+func (c *Controller) noteFailure(h *swHandle) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.health[h.name]
+	if !ok {
+		rec = &Health{}
+		c.health[h.name] = rec
+	}
+	rec.Failures++
+	rec.Consecutive++
+	pol := c.healthPol
+	switch {
+	case pol.QuarantineAfter > 0 && rec.Consecutive >= pol.QuarantineAfter:
+		if rec.State != Quarantined {
+			rec.State = Quarantined
+			c.alerts = append(c.alerts, Alert{Switch: h.name, Reason: core.AlertUnreachable})
+		}
+	case pol.DegradeAfter > 0 && rec.Consecutive >= pol.DegradeAfter:
+		if rec.State == Healthy {
+			rec.State = Degraded
+		}
+	}
+}
+
+// quarantined reports whether the circuit breaker is open for a switch.
+func (c *Controller) quarantined(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.health[name]
+	return ok && rec.State == Quarantined
+}
+
+// xfer accounts one transact call: what was actually put on and taken off
+// the wire, for KMPResult/Stats accounting under retransmission.
+type xfer struct {
+	resp      []*core.Message // verified responses (nil on failure)
+	lat       time.Duration   // modeled wall time including backoff waits
+	sends     int             // request transmissions (≥1)
+	recvs     int             // PacketIns parsed (including bad ones)
+	sentBytes int
+	rcvdBytes int
+}
+
+// account folds a transact's traffic into a KMPResult.
+func (r *KMPResult) account(x *xfer) {
+	if x == nil {
+		return
+	}
+	r.Messages += x.sends + x.recvs
+	r.Bytes += x.sentBytes + x.rcvdBytes
+	r.RTT += x.lat
+}
+
+// errDecode marks a PacketIn that failed to parse — retryable, since a
+// corrupted response says nothing about whether the request landed.
+var errDecode = errors.New("controller: undecodable PacketIn")
+
+// transact runs one request through the retransmission engine: send, wait
+// for a verifiable response (when wantResp), and resend the *same bytes*
+// after a deterministic backoff otherwise. Resending identical bytes is
+// safe end to end: the switch agent's idempotency cache replays the cached
+// response for a duplicate whose response was lost, and the pipeline's
+// replay defence only advances on digest-valid messages, so a dropped or
+// corrupted attempt never consumes the sequence number.
+//
+// With MaxAttempts == 1 this is exactly the legacy exchange + checkResponse
+// sequence, byte for byte and alert for alert.
+func (c *Controller) transact(h *swHandle, req *core.Message, wantResp bool) (*xfer, error) {
+	if c.resilient() && c.quarantined(h.name) {
+		return &xfer{}, fmt.Errorf("%w: %s", ErrQuarantined, h.name)
+	}
+	data, err := req.Encode()
+	if err != nil {
+		return &xfer{}, err
+	}
+	pol := c.retryPolicy()
+	x := &xfer{}
+	var lastErr error
+	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		if wait := pol.backoff(attempt); wait > 0 {
+			x.lat += wait
+			c.mu.Lock()
+			clk := c.clock
+			c.mu.Unlock()
+			if clk != nil {
+				clk.Advance(wait)
+			}
+		}
+		final := attempt == pol.MaxAttempts
+		resp, lat, sent, rcvd, err := c.exchangeBytes(h, data)
+		x.lat += lat
+		x.sends++
+		x.sentBytes += sent
+		x.recvs += len(resp)
+		x.rcvdBytes += rcvd
+		if err != nil {
+			if errors.Is(err, errDecode) && !final {
+				lastErr = err
+				continue
+			}
+			return x, err
+		}
+		if !wantResp {
+			// Fire-and-forget: silence is the expected outcome and the
+			// caller confirms through state (e.g. a pa_ver read). But a
+			// verified alert coming back means the request was mangled in
+			// flight — that attempt failed, so resend the clean bytes.
+			if len(resp) > 0 {
+				if _, verr := c.vetResponses(h, req, resp, final); verr != nil {
+					lastErr = verr
+					if !final {
+						continue
+					}
+					if c.resilient() {
+						c.noteFailure(h)
+					}
+					return x, verr
+				}
+			}
+			_ = h.seq.Settle(req.SeqNum)
+			return x, nil
+		}
+		if len(resp) == 0 {
+			lastErr = fmt.Errorf("%w: no response from %s (seq %d, attempt %d)",
+				ErrTimeout, h.name, req.SeqNum, attempt)
+			continue
+		}
+		ok, verr := c.vetResponses(h, req, resp, final)
+		if verr == nil {
+			x.resp = resp
+			if c.resilient() {
+				c.noteSuccess(h)
+			}
+			return x, nil
+		}
+		lastErr = verr
+		if !ok || final {
+			return x, verr
+		}
+	}
+	if c.resilient() {
+		c.noteFailure(h)
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("%w: %s seq %d", ErrTimeout, h.name, req.SeqNum)
+	}
+	if !errors.Is(lastErr, ErrTimeout) {
+		lastErr = fmt.Errorf("%w: %s seq %d: last error: %v", ErrTimeout, h.name, req.SeqNum, lastErr)
+	}
+	return x, lastErr
+}
+
+// vetResponses authenticates a response set against its request. It
+// returns retryable=true when a failure could be transient corruption (the
+// caller may resend the same bytes). On non-final retryable failures the
+// sequence number is left outstanding so the eventual good response can
+// settle it; final-attempt behaviour matches the legacy checkResponse
+// exactly.
+func (c *Controller) vetResponses(h *swHandle, req *core.Message, resp []*core.Message, final bool) (retryable bool, err error) {
+	r := resp[0]
+	key, err := h.keys.At(core.KeyIndexLocal, r.KeyVersion)
+	if err != nil {
+		return true, fmt.Errorf("%w: unknown key version %d", ErrTampered, r.KeyVersion)
+	}
+	if !r.Verify(h.dig, key) {
+		// Detection of misreported statistics (Fig. 9): the controller
+		// itself raises the alert when a response fails verification.
+		c.mu.Lock()
+		c.alerts = append(c.alerts, Alert{Switch: h.name, Reason: core.AlertBadDigest, SeqNum: r.SeqNum})
+		c.mu.Unlock()
+		return true, fmt.Errorf("%w: response digest mismatch on %s", ErrTampered, h.name)
+	}
+	if r.SeqNum != req.SeqNum {
+		return true, fmt.Errorf("%w: response seq %d for request %d", ErrTampered, r.SeqNum, req.SeqNum)
+	}
+	if r.HdrType == core.HdrAlert {
+		// A verified alert for our own sequence number means the request
+		// was mangled in flight (the switch alerts before consuming the
+		// sequence number) — resending the clean bytes can still succeed,
+		// so only the final attempt settles and surfaces it.
+		c.mu.Lock()
+		c.alerts = append(c.alerts, Alert{Switch: h.name, Reason: r.MsgType, SeqNum: r.SeqNum})
+		c.mu.Unlock()
+		if final {
+			_ = h.seq.Settle(r.SeqNum)
+		}
+		return true, fmt.Errorf("%w: data plane raised alert reason %d", ErrTampered, r.MsgType)
+	}
+	if err := h.seq.Settle(r.SeqNum); err != nil {
+		return false, fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	return false, nil
+}
+
+// exchangeBytes puts encoded request bytes on the control channel through
+// the fault taps and returns parsed PacketIns. It is one attempt: no
+// retries, no verification.
+func (c *Controller) exchangeBytes(h *swHandle, data []byte) (out []*core.Message, lat time.Duration, sentBytes, rcvdBytes int, err error) {
+	c.mu.Lock()
+	c.stats.MessagesSent++
+	c.stats.BytesSent += len(data)
+	c.mu.Unlock()
+	sentBytes = len(data)
+
+	wire := data
+	if h.outTap != nil {
+		wire = h.outTap(wire)
+	}
+	if wire == nil {
+		// Dropped on the controller->switch leg: the controller observes
+		// only silence, exactly as with a lost response.
+		return nil, h.linkLat, sentBytes, 0, nil
+	}
+	res, err := h.host.PacketOut(wire)
+	if err != nil {
+		return nil, 0, sentBytes, 0, err
+	}
+	lat = h.linkLat + res.Cost
+	responded := false
+	for _, pin := range res.PacketIns {
+		if h.inTap != nil {
+			pin = h.inTap(pin)
+		}
+		if pin == nil {
+			continue // dropped on the switch->controller leg
+		}
+		responded = true
+		c.mu.Lock()
+		c.stats.MessagesRecvd++
+		c.stats.BytesRecvd += len(pin)
+		c.mu.Unlock()
+		rcvdBytes += len(pin)
+		r, derr := core.DecodeMessage(pin)
+		if derr != nil {
+			return out, lat, sentBytes, rcvdBytes, fmt.Errorf("%w: %s: %v", errDecode, h.name, derr)
+		}
+		out = append(out, r)
+	}
+	if responded {
+		lat += h.linkLat
+	}
+	relayLat, err := c.relay(h, res.NetOut)
+	if err != nil {
+		return nil, lat, sentBytes, rcvdBytes, err
+	}
+	lat += relayLat
+	return out, lat, sentBytes, rcvdBytes, nil
+}

@@ -244,8 +244,15 @@ func AddToProgram(prog *pisa.Program, cfg Config, integ Integration) error {
 	)
 
 	// Register-map table and per-register actions (§VII, Fig. 15). The
-	// alert counter is always exposed for authenticated window resets.
-	if err := addRegMap(prog, append(append([]string(nil), integ.Exposed...), RegAlert)); err != nil {
+	// alert counter is always exposed for authenticated window resets, and
+	// the ingress key-version counter for key-state resync: the controller
+	// reads it to detect a half-completed rollover and writes it to roll
+	// the local slot back to the last mutually-known version (reachable
+	// only through digest-verified requests, i.e. by a legitimate
+	// controller). The egress counter stays in lockstep with the ingress
+	// one by construction (both bump once per install pass), so it needs no
+	// exposure — and cannot have any, being an egress-pipeline register.
+	if err := addRegMap(prog, append(append([]string(nil), integ.Exposed...), RegAlert, RegVer)); err != nil {
 		return err
 	}
 
@@ -381,9 +388,10 @@ func addRegMap(prog *pisa.Program, exposed []string) error {
 // InstallRegMap populates the register-map table from p4info: two entries
 // per exposed register (read and write), as §VII describes. The alert
 // counter is always exposed so the controller can reset the DoS window
-// (§VIII) with an authenticated write.
+// (§VIII) with an authenticated write, and the ingress key-version counter
+// so the controller can resync key state after an interrupted rollover.
 func InstallRegMap(sw *pisa.Switch, info *p4rt.P4Info, exposed []string) error {
-	exposed = append(append([]string(nil), exposed...), RegAlert)
+	exposed = append(append([]string(nil), exposed...), RegAlert, RegVer)
 	for _, reg := range exposed {
 		ri, err := info.RegisterByName(reg)
 		if err != nil {

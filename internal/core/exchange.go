@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"p4auth/internal/crypto"
 )
@@ -79,8 +80,10 @@ func RespondADHKD(cfg Config, rng crypto.RandomSource, pk1 uint64, s1 uint32) (p
 
 // SeqTracker hands out monotonically increasing sequence numbers and
 // matches responses to outstanding requests (the controller-side half of
-// the replay defence, §VIII).
+// the replay defence, §VIII). It is safe for concurrent use, so DoS
+// monitors can poll Outstanding while exchanges are in flight.
 type SeqTracker struct {
+	mu          sync.Mutex
 	next        uint32
 	outstanding map[uint32]bool
 }
@@ -93,6 +96,8 @@ func NewSeqTracker() *SeqTracker {
 
 // Next reserves and returns the next sequence number.
 func (s *SeqTracker) Next() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n := s.next
 	s.next++
 	s.outstanding[n] = true
@@ -103,6 +108,8 @@ func (s *SeqTracker) Next() uint32 {
 // error for unknown or duplicate sequence numbers (a replayed or forged
 // response).
 func (s *SeqTracker) Settle(seq uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !s.outstanding[seq] {
 		return fmt.Errorf("core: response for unknown or already-settled seq %d", seq)
 	}
@@ -112,4 +119,22 @@ func (s *SeqTracker) Settle(seq uint32) error {
 
 // Outstanding reports how many requests lack responses (the controller's
 // DoS threshold input, §VIII).
-func (s *SeqTracker) Outstanding() int { return len(s.outstanding) }
+func (s *SeqTracker) Outstanding() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.outstanding)
+}
+
+// PeekControl inspects an encoded control-channel packet without a full
+// decode, returning its hdrType and seqNum. ok is false when the bytes are
+// not a plausible P4Auth message. Used by the switch agent's idempotency
+// cache to key retransmitted requests cheaply.
+func PeekControl(data []byte) (hdrType uint8, seqNum uint32, ok bool) {
+	// ptype(1B) | pa_h: hdrType(1B) msgType(1B) seqNum(4B) ...
+	if len(data) < ptypeDef.Bytes()+authDef.Bytes() || data[0] != PTypeP4Auth {
+		return 0, 0, false
+	}
+	hdrType = data[1]
+	seqNum = uint32(data[3])<<24 | uint32(data[4])<<16 | uint32(data[5])<<8 | uint32(data[6])
+	return hdrType, seqNum, true
+}

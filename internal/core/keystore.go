@@ -23,6 +23,12 @@ type keySlot struct {
 	v       [2]uint64
 	current uint8
 	set     bool
+	// Transactional rollover staging (prepare/commit/abort): a derived key
+	// awaiting confirmation that the peer activated its copy. A prepared
+	// key is invisible to Current/At until committed, so in-flight messages
+	// keep verifying under the established versions.
+	pending    uint64
+	hasPending bool
 }
 
 // NewKeyStore returns a store with slots 0..ports. Slot 0 starts at the
@@ -72,7 +78,8 @@ func (ks *KeyStore) At(idx int, version uint8) (uint64, error) {
 }
 
 // Install stores a new key in the slot's inactive version and makes it
-// current, returning the new version tag.
+// current, returning the new version tag. It discards any prepared key
+// (Install is the non-transactional path).
 func (ks *KeyStore) Install(idx int, key uint64) (uint8, error) {
 	ks.mu.Lock()
 	defer ks.mu.Unlock()
@@ -80,12 +87,72 @@ func (ks *KeyStore) Install(idx int, key uint64) (uint8, error) {
 		return 0, err
 	}
 	s := &ks.slots[idx]
+	s.pending, s.hasPending = 0, false
+	return s.install(key), nil
+}
+
+func (s *keySlot) install(key uint64) uint8 {
 	if s.set {
 		s.current++
 	}
 	s.v[s.current&1] = key
 	s.set = true
-	return s.current, nil
+	return s.current
+}
+
+// Prepare stages a freshly derived key for a slot without activating it:
+// Current and At still answer from the established versions, so everything
+// signed before the rollover keeps verifying. A second Prepare replaces
+// the staged key.
+func (ks *KeyStore) Prepare(idx int, key uint64) error {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if err := ks.check(idx); err != nil {
+		return err
+	}
+	s := &ks.slots[idx]
+	s.pending, s.hasPending = key, true
+	return nil
+}
+
+// Commit activates the prepared key at version current+1 and returns the
+// new version tag. It fails if nothing is prepared.
+func (ks *KeyStore) Commit(idx int) (uint8, error) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if err := ks.check(idx); err != nil {
+		return 0, err
+	}
+	s := &ks.slots[idx]
+	if !s.hasPending {
+		return 0, fmt.Errorf("core: key slot %d has no prepared key to commit", idx)
+	}
+	key := s.pending
+	s.pending, s.hasPending = 0, false
+	return s.install(key), nil
+}
+
+// Abort discards a prepared key, leaving the established versions
+// untouched. Aborting with nothing prepared is a no-op.
+func (ks *KeyStore) Abort(idx int) error {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if err := ks.check(idx); err != nil {
+		return err
+	}
+	s := &ks.slots[idx]
+	s.pending, s.hasPending = 0, false
+	return nil
+}
+
+// Pending reports whether a prepared key awaits commit on the slot.
+func (ks *KeyStore) Pending(idx int) bool {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if idx < 0 || idx >= len(ks.slots) {
+		return false
+	}
+	return ks.slots[idx].hasPending
 }
 
 // Established reports whether a slot holds a key.

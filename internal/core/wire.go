@@ -81,6 +81,9 @@ const (
 const (
 	AlertBadDigest = 1
 	AlertReplay    = 2
+	// AlertUnreachable is controller-originated: a switch exhausted its
+	// retransmission budget repeatedly and was circuit-broken (quarantined).
+	AlertUnreachable = 3
 )
 
 // Feedback msgType.

@@ -4,10 +4,18 @@ package netsim
 // link taps, for exercising protocol behaviour under unreliable links
 // (KMP response loss, probe loss, garbled feedback).
 
-// LossTap drops every packet whose deterministic per-packet draw falls
-// below rate (0 = never, 1 = always). The stream is reproducible from the
-// seed.
-func LossTap(rate float64, seed uint64) Tap {
+import (
+	"fmt"
+	"math"
+)
+
+// NewLossTap returns a tap that drops every packet whose deterministic
+// per-packet draw falls below rate (0 = never, 1 = always). The stream is
+// reproducible from the seed. The rate must be a real number in [0, 1].
+func NewLossTap(rate float64, seed uint64) (Tap, error) {
+	if math.IsNaN(rate) || rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("netsim: loss rate %v outside [0,1]", rate)
+	}
 	state := seed
 	return func(data []byte) []byte {
 		state = splitmix(state)
@@ -16,14 +24,26 @@ func LossTap(rate float64, seed uint64) Tap {
 			return nil
 		}
 		return data
-	}
+	}, nil
 }
 
-// CorruptTap flips one deterministic bit in every Nth packet (n <= 1
-// corrupts every packet).
-func CorruptTap(n int, seed uint64) Tap {
+// LossTap is NewLossTap for static configurations; it panics on an invalid
+// rate instead of returning an error.
+func LossTap(rate float64, seed uint64) Tap {
+	t, err := NewLossTap(rate, seed)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NewCorruptTap returns a tap that flips one deterministic bit in every
+// Nth packet. The corrupted packet is a copy: the caller's buffer is never
+// mutated, so a sender retransmitting the same bytes is unaffected. The
+// period n must be >= 1 (1 corrupts every packet).
+func NewCorruptTap(n int, seed uint64) (Tap, error) {
 	if n < 1 {
-		n = 1
+		return nil, fmt.Errorf("netsim: corruption period %d must be >= 1", n)
 	}
 	count := 0
 	state := seed
@@ -33,11 +53,26 @@ func CorruptTap(n int, seed uint64) Tap {
 			return data
 		}
 		state = splitmix(state)
-		byteIdx := int(state % uint64(len(data)))
+		out := make([]byte, len(data))
+		copy(out, data)
+		byteIdx := int(state % uint64(len(out)))
 		bit := byte(1) << ((state >> 8) % 8)
-		data[byteIdx] ^= bit
-		return data
+		out[byteIdx] ^= bit
+		return out
+	}, nil
+}
+
+// CorruptTap is NewCorruptTap for static configurations, keeping the
+// historical behaviour of clamping n <= 1 to "corrupt every packet".
+func CorruptTap(n int, seed uint64) Tap {
+	if n < 1 {
+		n = 1
 	}
+	t, err := NewCorruptTap(n, seed)
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 // ChainTaps composes taps left to right; a nil result short-circuits.

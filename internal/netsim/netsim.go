@@ -64,6 +64,13 @@ func (s *Sim) Run() {
 	}
 }
 
+// Advance executes events within the next d of virtual time and moves the
+// clock forward by d — a virtual sleep, used by protocol engines (e.g. the
+// controller's retransmission backoff) that wait on the simulated clock.
+func (s *Sim) Advance(d time.Duration) {
+	s.RunUntil(s.now + d)
+}
+
 // RunUntil executes events with timestamps <= t, then advances the clock
 // to t.
 func (s *Sim) RunUntil(t time.Duration) {

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -332,13 +333,79 @@ func TestCorruptTapFlipsOneBit(t *testing.T) {
 	tap3 := CorruptTap(3, 9)
 	touched := 0
 	for i := 0; i < 9; i++ {
-		d := []byte{0}
-		if tap3(d); d[0] != 0 {
+		if out := tap3([]byte{0}); out[0] != 0 {
 			touched++
 		}
 	}
 	if touched != 3 {
 		t.Errorf("touched %d of 9, want 3", touched)
+	}
+}
+
+// A corrupting tap must never mutate the caller's buffer: a sender that
+// retransmits the same bytes (the controller's KMP retry path) would
+// otherwise resend the corrupted copy forever.
+func TestCorruptTapDoesNotMutateCaller(t *testing.T) {
+	tap := CorruptTap(1, 9)
+	orig := []byte{0xAA, 0xBB, 0xCC, 0xDD}
+	data := append([]byte(nil), orig...)
+	out := tap(data)
+	if string(data) != string(orig) {
+		t.Fatalf("caller's buffer mutated: %x -> %x", orig, data)
+	}
+	if string(out) == string(orig) {
+		t.Fatal("returned packet was not corrupted")
+	}
+	// A retransmission of the same (pristine) buffer sends pristine bytes.
+	again := append([]byte(nil), orig...)
+	tap(again)
+	if string(again) != string(orig) {
+		t.Fatalf("retransmitted buffer mutated: %x -> %x", orig, again)
+	}
+}
+
+func TestFaultTapValidation(t *testing.T) {
+	bad := []float64{math.NaN(), -0.1, 1.1, math.Inf(1), math.Inf(-1)}
+	for _, rate := range bad {
+		if _, err := NewLossTap(rate, 1); err == nil {
+			t.Errorf("NewLossTap(%v) accepted an invalid rate", rate)
+		}
+	}
+	for _, rate := range []float64{0, 0.5, 1} {
+		if _, err := NewLossTap(rate, 1); err != nil {
+			t.Errorf("NewLossTap(%v): %v", rate, err)
+		}
+	}
+	for _, n := range []int{0, -1} {
+		if _, err := NewCorruptTap(n, 1); err == nil {
+			t.Errorf("NewCorruptTap(%d) accepted an invalid period", n)
+		}
+	}
+	if _, err := NewCorruptTap(1, 1); err != nil {
+		t.Errorf("NewCorruptTap(1): %v", err)
+	}
+	// The panicking constructors reject invalid configs loudly.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("LossTap(NaN) did not panic")
+			}
+		}()
+		LossTap(math.NaN(), 1)
+	}()
+}
+
+func TestSimAdvance(t *testing.T) {
+	s := NewSim()
+	fired := false
+	s.After(5*time.Microsecond, func() { fired = true })
+	s.Advance(3 * time.Microsecond)
+	if fired || s.Now() != 3*time.Microsecond {
+		t.Fatalf("Advance(3us): fired=%v now=%v", fired, s.Now())
+	}
+	s.Advance(3 * time.Microsecond)
+	if !fired || s.Now() != 6*time.Microsecond {
+		t.Fatalf("Advance past event: fired=%v now=%v", fired, s.Now())
 	}
 }
 

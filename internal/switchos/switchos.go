@@ -13,9 +13,11 @@
 package switchos
 
 import (
+	"bytes"
 	"fmt"
 	"time"
 
+	"p4auth/internal/core"
 	"p4auth/internal/p4rt"
 	"p4auth/internal/pisa"
 )
@@ -96,6 +98,74 @@ func DefaultCosts() Costs {
 	}
 }
 
+// DefaultResponseCacheSize bounds the agent's idempotency cache (recent
+// control-channel exchanges remembered for retransmission handling).
+const DefaultResponseCacheSize = 128
+
+// cachedExchange remembers one completed control-channel exchange: the
+// exact request bytes and the PacketIns the agent answered with.
+type cachedExchange struct {
+	seq  uint32
+	req  []byte
+	pins [][]byte
+}
+
+// responseCache is the agent-level idempotency cache: a retransmitted
+// request (byte-identical, same seqNum) is answered from here instead of
+// re-entering the pipeline, where the replay defence would alert and a
+// key-exchange message would re-derive state. Entries are evicted FIFO.
+type responseCache struct {
+	cap     int
+	bySeq   map[uint32]int // seq -> index into entries
+	entries []cachedExchange
+	next    int // ring cursor
+}
+
+func newResponseCache(capacity int) *responseCache {
+	return &responseCache{
+		cap:     capacity,
+		bySeq:   make(map[uint32]int, capacity),
+		entries: make([]cachedExchange, 0, capacity),
+	}
+}
+
+// lookup returns the cached PacketIns for a byte-identical duplicate of a
+// previously answered request. A different request under the same seqNum
+// (a genuine replay or a corrupted copy) misses, so it reaches the
+// pipeline's replay defence.
+func (rc *responseCache) lookup(seq uint32, req []byte) ([][]byte, bool) {
+	i, ok := rc.bySeq[seq]
+	if !ok || !bytes.Equal(rc.entries[i].req, req) {
+		return nil, false
+	}
+	// Deep-copy: callers (taps, hooks) may hold onto the slices.
+	out := make([][]byte, len(rc.entries[i].pins))
+	for j, p := range rc.entries[i].pins {
+		out[j] = append([]byte(nil), p...)
+	}
+	return out, true
+}
+
+func (rc *responseCache) store(seq uint32, req []byte, pins [][]byte) {
+	e := cachedExchange{seq: seq, req: append([]byte(nil), req...)}
+	for _, p := range pins {
+		e.pins = append(e.pins, append([]byte(nil), p...))
+	}
+	if i, ok := rc.bySeq[seq]; ok {
+		rc.entries[i] = e // latest answer for this seq wins
+		return
+	}
+	if len(rc.entries) < rc.cap {
+		rc.bySeq[seq] = len(rc.entries)
+		rc.entries = append(rc.entries, e)
+		return
+	}
+	delete(rc.bySeq, rc.entries[rc.next].seq)
+	rc.entries[rc.next] = e
+	rc.bySeq[seq] = rc.next
+	rc.next = (rc.next + 1) % rc.cap
+}
+
 // Host is a complete switch: data plane plus software stack.
 type Host struct {
 	Name  string
@@ -104,16 +174,30 @@ type Host struct {
 	Costs Costs
 
 	hooks [numBoundaries]*Hooks
+	cache *responseCache
 }
 
-// NewHost assembles a host around a data plane.
+// NewHost assembles a host around a data plane. The agent's idempotency
+// cache starts enabled at DefaultResponseCacheSize; use SetResponseCache
+// to resize or disable it.
 func NewHost(name string, sw *pisa.Switch, costs Costs) *Host {
 	return &Host{
 		Name:  name,
 		SW:    sw,
 		Info:  p4rt.InfoFromProgram(sw.Compiled().Program),
 		Costs: costs,
+		cache: newResponseCache(DefaultResponseCacheSize),
 	}
+}
+
+// SetResponseCache resizes the agent's idempotency cache; capacity 0
+// disables it (every duplicate then hits the pipeline's replay defence).
+func (h *Host) SetResponseCache(capacity int) {
+	if capacity <= 0 {
+		h.cache = nil
+		return
+	}
+	h.cache = newResponseCache(capacity)
 }
 
 // Install places hooks at a boundary (nil uninstalls) — the backdoor
@@ -206,9 +290,24 @@ type IOResult struct {
 }
 
 // PacketOut injects a controller packet into the data plane via the CPU
-// port, passing the stack's hooks on the way down.
+// port, passing the stack's hooks on the way down. A byte-identical
+// retransmission of an already-answered request (same seqNum) is served
+// from the agent's idempotency cache: the cached PacketIns are re-emitted
+// without re-entering the pipeline, so a duplicate EAK/ADHKD neither
+// re-derives key state nor trips the replay defence.
 func (h *Host) PacketOut(data []byte) (IOResult, error) {
 	res := IOResult{Cost: h.Costs.PacketIOBase + time.Duration(len(data))*h.Costs.PerByte}
+	seq, cacheable := h.cacheKey(data)
+	if cacheable {
+		if pins, hit := h.cache.lookup(seq, data); hit {
+			res.PacketIns = pins
+			for _, p := range pins {
+				res.Cost += time.Duration(len(p)) * h.Costs.PerByte
+			}
+			return res, nil
+		}
+	}
+	orig := data
 	for _, b := range []Boundary{BoundaryAgentSDK, BoundarySDKDriver} {
 		if hk := h.hooks[b]; hk != nil && hk.OnPacketOut != nil {
 			data = hk.OnPacketOut(data)
@@ -218,7 +317,58 @@ func (h *Host) PacketOut(data []byte) (IOResult, error) {
 		}
 	}
 	res.Cost += h.Costs.DriverBase + h.Costs.PCIe
-	return h.runPipeline(data, pisa.CPUPort, res)
+	out, err := h.runPipeline(data, pisa.CPUPort, res)
+	if err == nil && cacheable && h.cacheWorthy(orig, out.PacketIns) {
+		// Keyed by the bytes the agent received (pre-hook): that is what a
+		// retransmitting controller will resend.
+		h.cache.store(seq, orig, out.PacketIns)
+	}
+	return out, err
+}
+
+// cacheWorthy filters what the idempotency cache remembers. Alert
+// responses are never cached: a duplicate of a failed request must
+// re-enter the pipeline, where the replay defence and the alert-threshold
+// cap apply — otherwise replaying garbage would mint unlimited copies of a
+// cached alert. Empty results are cached only for key-exchange messages
+// (a fire-and-forget kx leg like the final ADHKD2 legitimately answers
+// nothing, and reprocessing it would corrupt initiator state); an empty
+// result for a register op means the message was dropped, and a duplicate
+// should be re-tried against the pipeline.
+func (h *Host) cacheWorthy(req []byte, pins [][]byte) bool {
+	for _, p := range pins {
+		if hdrType, _, ok := core.PeekControl(p); ok && hdrType == core.HdrAlert {
+			return false
+		}
+	}
+	if len(pins) == 0 {
+		hdrType, _, _ := core.PeekControl(req)
+		return hdrType == core.HdrKeyExch
+	}
+	return true
+}
+
+func anyAlert(pins [][]byte) bool {
+	for _, p := range pins {
+		if hdrType, _, ok := core.PeekControl(p); ok && hdrType == core.HdrAlert {
+			return true
+		}
+	}
+	return false
+}
+
+// cacheKey decides whether a PacketOut participates in the idempotency
+// cache: control-channel register and key-exchange requests do, keyed by
+// their seqNum; anything else (feedback, non-P4Auth bytes) bypasses it.
+func (h *Host) cacheKey(data []byte) (uint32, bool) {
+	if h.cache == nil {
+		return 0, false
+	}
+	hdrType, seq, ok := core.PeekControl(data)
+	if !ok || (hdrType != core.HdrRegister && hdrType != core.HdrKeyExch) {
+		return 0, false
+	}
+	return seq, true
 }
 
 // NetworkPacket injects a packet arriving on a network port directly into

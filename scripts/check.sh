@@ -1,0 +1,17 @@
+#!/bin/sh
+# Full verification gate: build, vet, race-enabled tests. Mirrors
+# `make check` for environments without make.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== OK"
