@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench chaos
 
-check: build vet race
+check: build vet race chaos
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Deterministic chaos smoke with fixed seeds; -count=1 defeats the test
+# cache so the crash/recovery invariants run on every gate.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaosShort|TestChaosDeterminism' ./internal/netsim/chaos/
 
 # Full evaluation benchmarks (Table I/II/III, Fig. 16-20). Slow; the test
 # targets above skip them via -short where applicable.

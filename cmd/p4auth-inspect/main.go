@@ -7,6 +7,12 @@
 //	p4auth-inspect                    # all programs, Tofino + BMv2
 //	p4auth-inspect -target tofino
 //	p4auth-inspect -words 8           # digest-width override (ablation)
+//
+// It also decodes the crash-safety artifacts the controller and switches
+// persist (see PROTOCOL.md, "Crash recovery & persistence"):
+//
+//	p4auth-inspect snapshot <file-or-store-dir>...   # key/device snapshots
+//	p4auth-inspect journal  <file-or-store-dir>...   # write-ahead entries
 package main
 
 import (
@@ -20,6 +26,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && (os.Args[1] == "snapshot" || os.Args[1] == "journal") {
+		if err := runState(os.Args[1], os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	target := flag.String("target", "", "tofino | bmv2 (default: both)")
 	words := flag.Int("words", 1, "digest width in 32-bit words")
 	dump := flag.String("dump", "", "print a program's pseudo-P4 and exit: p4auth-shell | hula+p4auth | hula-baseline")

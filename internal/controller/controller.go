@@ -15,6 +15,7 @@ package controller
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"p4auth/internal/netsim"
 	"p4auth/internal/p4rt"
 	"p4auth/internal/pisa"
+	"p4auth/internal/statestore"
 	"p4auth/internal/switchos"
 )
 
@@ -100,13 +102,15 @@ type peerRef struct {
 // Alerts, Outstanding, HealthOf — are safe to call concurrently with an
 // in-flight operation (a DoS monitor polling mid-exchange).
 type Controller struct {
-	rng      crypto.RandomSource
-	switches map[string]*swHandle
-	adj      map[portKey]peerRef
+	rng crypto.RandomSource
 
-	// mu guards the mutable observable state (stats, alerts, health) and
-	// the resilience configuration.
+	// mu guards the mutable observable state (stats, alerts, health), the
+	// resilience configuration, the topology maps (switches/adj entries
+	// are added under mu; the handles themselves hold their own locks),
+	// and the crash-safety machinery.
 	mu        sync.Mutex
+	switches  map[string]*swHandle
+	adj       map[portKey]peerRef
 	alerts    []Alert
 	stats     Stats
 	retry     RetryPolicy
@@ -114,6 +118,13 @@ type Controller struct {
 	health    map[string]*Health
 	clock     Clock
 	linkTaps  map[portKey]netsim.Tap
+
+	// Crash-safety state (EnableCrashSafety / Kill).
+	store    statestore.Store
+	walID    uint64
+	persistN uint64
+	dead     bool
+	seedUses map[string]int
 }
 
 // New returns a controller using rng for salts and private secrets.
@@ -126,18 +137,21 @@ func New(rng crypto.RandomSource) *Controller {
 		healthPol: DefaultHealthPolicy,
 		health:    make(map[string]*Health),
 		linkTaps:  make(map[portKey]netsim.Tap),
+		seedUses:  make(map[string]int),
 	}
 }
 
 // Register adds a switch under the controller's management. linkLat is the
 // one-way latency of the controller-switch management link.
 func (c *Controller) Register(name string, host *switchos.Host, cfg core.Config, linkLat time.Duration) error {
-	if _, dup := c.switches[name]; dup {
-		return fmt.Errorf("controller: switch %q already registered", name)
-	}
 	dig, err := cfg.Digester()
 	if err != nil {
 		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.switches[name]; dup {
+		return fmt.Errorf("controller: switch %q already registered", name)
 	}
 	c.switches[name] = &swHandle{
 		name:    name,
@@ -156,6 +170,8 @@ func (c *Controller) Register(name string, host *switchos.Host, cfg core.Config,
 // switch b's port pb over a link with the given one-way latency, enabling
 // relayed and direct DP-DP key exchanges.
 func (c *Controller) ConnectSwitches(a string, pa int, b string, pb int, lat time.Duration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.switches[a]; !ok {
 		return fmt.Errorf("controller: unknown switch %q", a)
 	}
@@ -191,11 +207,56 @@ func (c *Controller) Outstanding(name string) (int, error) {
 }
 
 func (c *Controller) handle(name string) (*swHandle, error) {
+	c.mu.Lock()
 	h, ok := c.switches[name]
+	c.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("controller: unknown switch %q", name)
 	}
 	return h, nil
+}
+
+// peerOf resolves an adjacency under the lock.
+func (c *Controller) peerOf(sw string, port int) (peerRef, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.adj[portKey{sw, port}]
+	return p, ok
+}
+
+// switchNames returns the registered switch names, sorted — iteration in
+// a deterministic order is part of the chaos-replay contract.
+func (c *Controller) switchNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.switches))
+	for name := range c.switches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// links returns each registered adjacency once (driven from its
+// lexicographically first end), sorted deterministically.
+func (c *Controller) links() [][2]portKey {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out [][2]portKey
+	for pk, peer := range c.adj {
+		if pk.sw > peer.sw || (pk.sw == peer.sw && pk.port > peer.port) {
+			continue
+		}
+		out = append(out, [2]portKey{pk, {peer.sw, peer.port}})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i][0], out[j][0]
+		if a.sw != b.sw {
+			return a.sw < b.sw
+		}
+		return a.port < b.port
+	})
+	return out
 }
 
 // exchange sends one P4Auth message to a switch over the control channel
@@ -230,21 +291,21 @@ func (c *Controller) relay(from *swHandle, ems []pisa.Emission) (time.Duration, 
 		}
 		h := queue[0]
 		queue = queue[1:]
+		c.mu.Lock()
 		peer, ok := c.adj[portKey{h.sw.name, h.em.Port}]
+		tap := c.linkTaps[portKey{h.sw.name, h.em.Port}]
+		dst := c.switches[peer.sw]
+		c.mu.Unlock()
 		if !ok {
 			continue // dangling port: drop, as a real link-less port would
 		}
 		data := h.em.Data
-		c.mu.Lock()
-		tap := c.linkTaps[portKey{h.sw.name, h.em.Port}]
-		c.mu.Unlock()
 		if tap != nil {
 			data = tap(data)
 		}
 		if data == nil {
 			continue // dropped in flight by a fault tap
 		}
-		dst := c.switches[peer.sw]
 		total += peer.lat
 		res, err := dst.host.NetworkPacket(peer.port, data)
 		if err != nil {

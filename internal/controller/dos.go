@@ -30,43 +30,35 @@ type DoSIndicator struct {
 // to isolate it.
 func (c *Controller) CheckDoS(outstandingThreshold int) []DoSIndicator {
 	var out []DoSIndicator
-	for name, h := range c.switches {
+	for _, name := range c.switchNames() {
+		h, err := c.handle(name)
+		if err != nil {
+			continue
+		}
 		n := h.seq.Outstanding()
 		if n >= outstandingThreshold {
 			alerts := 0
+			c.mu.Lock()
 			for _, a := range c.alerts {
 				if a.Switch == name {
 					alerts++
 				}
 			}
+			c.mu.Unlock()
 			out = append(out, DoSIndicator{Switch: name, Outstanding: n, Alerts: alerts})
 		}
 	}
 	return out
 }
 
-// Reinitialize recovers a switch whose key state has drifted from the
-// controller's (possible after a lost key-exchange response plus a retry —
-// see core.FactoryReset): it factory-resets the data plane's P4Auth
-// registers through the driver (the operator reloading the switch), resets
-// the controller-side key store and sequence tracking, and re-runs local
-// key initialization. Port keys must be re-initialized afterwards.
-func (c *Controller) Reinitialize(sw string) (KMPResult, error) {
-	h, err := c.handle(sw)
-	if err != nil {
-		return KMPResult{}, err
-	}
-	if err := core.FactoryReset(h.host.SW, h.cfg); err != nil {
-		return KMPResult{}, err
-	}
-	h.keys = core.NewKeyStore(h.cfg.Ports, h.cfg.Seed)
-	h.seq = core.NewSeqTracker()
-	return c.LocalKeyInit(sw)
-}
+// Reinitialize (the §VIII drift/DoS recovery of last resort) lives in
+// persist.go with the rest of the recovery protocol.
 
 // Quarantine removes a switch from management (the operator isolating a
 // suspicious switch, §VIII). Subsequent operations on it fail.
 func (c *Controller) Quarantine(sw string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.switches[sw]; !ok {
 		return fmt.Errorf("controller: unknown switch %q", sw)
 	}

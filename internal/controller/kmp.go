@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -13,9 +14,20 @@ import (
 // single-shot mode; under a retransmission policy (SetRetryPolicy) each
 // exchange is retried, confirmed, and resynced on interruption.
 func (c *Controller) LocalKeyInit(sw string) (KMPResult, error) {
+	var res KMPResult
+	var err error
 	if c.resilient() {
-		return c.localKeyInitResilient(sw)
+		res, err = c.localKeyInitResilient(sw)
+	} else {
+		res, err = c.localKeyInitLegacy(sw)
 	}
+	if err == nil {
+		err = c.autoPersist(sw)
+	}
+	return res, err
+}
+
+func (c *Controller) localKeyInitLegacy(sw string) (KMPResult, error) {
 	h, err := c.handle(sw)
 	if err != nil {
 		return KMPResult{}, err
@@ -23,6 +35,7 @@ func (c *Controller) LocalKeyInit(sw string) (KMPResult, error) {
 	var res KMPResult
 
 	// EAK: salts exchanged under K_seed.
+	c.countSeedUse(sw)
 	eak := core.NewEAK(h.cfg, c.rng)
 	req, err := h.signedMessage(core.HdrKeyExch, core.MsgEAKSalt1, nil, &core.KxPayload{Salt: eak.S1})
 	if err != nil {
@@ -65,9 +78,20 @@ func (c *Controller) LocalKeyInit(sw string) (KMPResult, error) {
 // LocalKeyUpdate runs the rollover of Fig. 14(b): one ADHKD exchange under
 // the current local key. Two messages (single-shot mode).
 func (c *Controller) LocalKeyUpdate(sw string) (KMPResult, error) {
+	var res KMPResult
+	var err error
 	if c.resilient() {
-		return c.localKeyUpdateResilient(sw)
+		res, err = c.localKeyUpdateResilient(sw)
+	} else {
+		res, err = c.localKeyUpdateLegacy(sw)
 	}
+	if err == nil {
+		err = c.autoPersist(sw)
+	}
+	return res, err
+}
+
+func (c *Controller) localKeyUpdateLegacy(sw string) (KMPResult, error) {
 	h, err := c.handle(sw)
 	if err != nil {
 		return KMPResult{}, err
@@ -117,9 +141,20 @@ func (c *Controller) localADHKD(h *swHandle) (KMPResult, error) {
 // with the respective local key. Five messages. The controller never
 // learns the derived port key.
 func (c *Controller) PortKeyInit(a string, pa int, b string, pb int) (KMPResult, error) {
+	var res KMPResult
+	var err error
 	if c.resilient() {
-		return c.portKeyInitResilient(a, pa, b, pb)
+		res, err = c.portKeyInitResilient(a, pa, b, pb)
+	} else {
+		res, err = c.portKeyInitLegacy(a, pa, b, pb)
 	}
+	if err == nil {
+		err = errors.Join(c.autoPersist(a), c.autoPersist(b))
+	}
+	return res, err
+}
+
+func (c *Controller) portKeyInitLegacy(a string, pa int, b string, pb int) (KMPResult, error) {
 	ha, err := c.handle(a)
 	if err != nil {
 		return KMPResult{}, err
@@ -200,14 +235,25 @@ func (c *Controller) PortKeyInit(a string, pa int, b string, pb int) (KMPResult,
 // ADHKD then travels directly between the data planes under the current
 // port key. Three messages (one C-DP, two DP-DP relayed by the fabric).
 func (c *Controller) PortKeyUpdate(a string, pa int) (KMPResult, error) {
+	var res KMPResult
+	var err error
 	if c.resilient() {
-		return c.portKeyUpdateResilient(a, pa)
+		res, err = c.portKeyUpdateResilient(a, pa)
+	} else {
+		res, err = c.portKeyUpdateLegacy(a, pa)
 	}
+	if err == nil {
+		err = c.autoPersist(a)
+	}
+	return res, err
+}
+
+func (c *Controller) portKeyUpdateLegacy(a string, pa int) (KMPResult, error) {
 	ha, err := c.handle(a)
 	if err != nil {
 		return KMPResult{}, err
 	}
-	if _, ok := c.adj[portKey{a, pa}]; !ok {
+	if _, ok := c.peerOf(a, pa); !ok {
 		return KMPResult{}, fmt.Errorf("controller: %s port %d has no registered peer", a, pa)
 	}
 	var res KMPResult
@@ -251,7 +297,7 @@ func (c *Controller) tally(res *KMPResult, req *core.Message, resp []*core.Messa
 // key-initialization row). Links are initialized once per adjacency pair.
 func (c *Controller) InitAllKeys() (KMPResult, error) {
 	var total KMPResult
-	for name := range c.switches {
+	for _, name := range c.switchNames() {
 		r, err := c.LocalKeyInit(name)
 		if err != nil {
 			return total, fmt.Errorf("local key init %s: %w", name, err)
@@ -260,11 +306,10 @@ func (c *Controller) InitAllKeys() (KMPResult, error) {
 		total.Bytes += r.Bytes
 		total.RTT += r.RTT
 	}
-	for pk, peer := range c.adj {
-		// Deduplicate: drive each link from its lexicographically first end.
-		if pk.sw > peer.sw || (pk.sw == peer.sw && pk.port > peer.port) {
-			continue
-		}
+	// Each link once, in deterministic order (the controller's rng draws
+	// must replay identically under the chaos harness).
+	for _, lk := range c.links() {
+		pk, peer := lk[0], lk[1]
 		r, err := c.PortKeyInit(pk.sw, pk.port, peer.sw, peer.port)
 		if err != nil {
 			return total, fmt.Errorf("port key init %s:%d<->%s:%d: %w", pk.sw, pk.port, peer.sw, peer.port, err)
@@ -280,7 +325,7 @@ func (c *Controller) InitAllKeys() (KMPResult, error) {
 // row).
 func (c *Controller) UpdateAllKeys() (KMPResult, error) {
 	var total KMPResult
-	for name := range c.switches {
+	for _, name := range c.switchNames() {
 		r, err := c.LocalKeyUpdate(name)
 		if err != nil {
 			return total, fmt.Errorf("local key update %s: %w", name, err)
@@ -289,10 +334,8 @@ func (c *Controller) UpdateAllKeys() (KMPResult, error) {
 		total.Bytes += r.Bytes
 		total.RTT += r.RTT
 	}
-	for pk, peer := range c.adj {
-		if pk.sw > peer.sw || (pk.sw == peer.sw && pk.port > peer.port) {
-			continue
-		}
+	for _, lk := range c.links() {
+		pk := lk[0]
 		r, err := c.PortKeyUpdate(pk.sw, pk.port)
 		if err != nil {
 			return total, fmt.Errorf("port key update %s:%d: %w", pk.sw, pk.port, err)
@@ -307,8 +350,8 @@ func (c *Controller) UpdateAllKeys() (KMPResult, error) {
 // KeyEstablished reports whether the controller holds a current local key
 // for the switch.
 func (c *Controller) KeyEstablished(sw string) bool {
-	h, ok := c.switches[sw]
-	return ok && h.keys.Established(core.KeyIndexLocal)
+	h, err := c.handle(sw)
+	return err == nil && h.keys.Established(core.KeyIndexLocal)
 }
 
 // PeriodicRollover runs UpdateAllKeys and returns when the next rollover

@@ -85,6 +85,7 @@ func (c *Controller) eakStep(h *swHandle, res *KMPResult) error {
 	if err != nil {
 		return err
 	}
+	c.countSeedUse(h.name)
 	eak := core.NewEAK(h.cfg, c.rng)
 	req, err := h.signedMessage(core.HdrKeyExch, core.MsgEAKSalt1, nil, &core.KxPayload{Salt: eak.S1})
 	if err != nil {
@@ -345,11 +346,14 @@ func (c *Controller) portKeyUpdateResilient(a string, pa int) (KMPResult, error)
 	if err != nil {
 		return KMPResult{}, err
 	}
-	peer, ok := c.adj[portKey{a, pa}]
+	peer, ok := c.peerOf(a, pa)
 	if !ok {
 		return KMPResult{}, fmt.Errorf("controller: %s port %d has no registered peer", a, pa)
 	}
-	hb := c.switches[peer.sw]
+	hb, err := c.handle(peer.sw)
+	if err != nil {
+		return KMPResult{}, err
+	}
 	pb := peer.port
 	var res KMPResult
 	pol := c.retryPolicy()

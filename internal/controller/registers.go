@@ -19,13 +19,23 @@ func (c *Controller) ReadRegister(sw, register string, index uint32) (uint64, ti
 	return value, x.lat + SignCost + VerifyCost, err
 }
 
-// WriteRegister performs an authenticated register write.
+// WriteRegister performs an authenticated register write. With crash
+// safety enabled the write is journaled: an intent entry lands in the
+// store before the first wire send and is settled (deleted on success,
+// marked failed otherwise) before this returns — so the only way an
+// intent survives is a crash mid-write, exactly the case recovery must
+// disambiguate by read-back.
 func (c *Controller) WriteRegister(sw, register string, index uint32, value uint64) (time.Duration, error) {
 	h, err := c.handle(sw)
 	if err != nil {
 		return 0, err
 	}
+	jid, jerr := c.walBegin(sw, register, index, value)
+	if jerr != nil {
+		return 0, fmt.Errorf("controller: journal write intent: %w", jerr)
+	}
 	x, err := c.regWrite(h, register, index, value)
+	c.walSettle(sw, jid, err == nil, register, index, value)
 	return x.lat + SignCost + VerifyCost, err
 }
 

@@ -17,6 +17,26 @@ var ErrTimeout = errors.New("controller: retransmission budget exhausted")
 // has circuit-broken after repeated unreachability.
 var ErrQuarantined = errors.New("controller: switch is quarantined")
 
+// ErrKilled is returned by operations on a controller after Kill(): the
+// crashed process can neither send nor persist.
+var ErrKilled = errors.New("controller: controller process is dead")
+
+// AlertError is a verified data-plane alert that failed an exchange: the
+// switch proved (under the shared key) that it rejected our request.
+// Callers unwrap it with errors.As to distinguish a replay rejection —
+// the restored-floor signature the recovery protocol heals by skipping
+// the sequence counter forward — from a digest rejection, which signals
+// key drift.
+type AlertError struct {
+	Switch string
+	Reason uint8 // core.AlertBadDigest or core.AlertReplay
+	Seq    uint32
+}
+
+func (e *AlertError) Error() string {
+	return fmt.Sprintf("controller: %s raised alert reason %d for seq %d", e.Switch, e.Reason, e.Seq)
+}
+
 // RetryPolicy bounds the controller's retransmission behaviour on the
 // control channel. The zero value and DefaultRetryPolicy (MaxAttempts 1)
 // disable retransmission entirely, preserving the paper's exact message
@@ -54,16 +74,24 @@ func ResilientRetryPolicy() RetryPolicy {
 
 // backoff returns the deterministic wait before the given attempt
 // (attempt 2 waits BaseBackoff; each further attempt doubles, capped).
+// Doubling saturates at the top of the time.Duration range, so a huge
+// attempt number with no MaxBackoff cannot overflow into a negative (and
+// therefore zero-length) wait.
 func (p RetryPolicy) backoff(attempt int) time.Duration {
 	if attempt <= 1 || p.BaseBackoff <= 0 {
 		return 0
 	}
+	const maxDuration = time.Duration(1<<63 - 1)
 	d := p.BaseBackoff
 	for i := 2; i < attempt; i++ {
-		d *= 2
 		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
 			return p.MaxBackoff
 		}
+		if d > maxDuration/2 {
+			d = maxDuration
+			break
+		}
+		d *= 2
 	}
 	if p.MaxBackoff > 0 && d > p.MaxBackoff {
 		d = p.MaxBackoff
@@ -159,6 +187,8 @@ func (c *Controller) SetControlTaps(sw string, out, in netsim.Tap) error {
 	if err != nil {
 		return err
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	h.outTap, h.inTap = out, in
 	return nil
 }
@@ -296,7 +326,25 @@ var errDecode = errors.New("controller: undecodable PacketIn")
 //
 // With MaxAttempts == 1 this is exactly the legacy exchange + checkResponse
 // sequence, byte for byte and alert for alert.
+//
+// One recovery rule rides on top: a final, verified REPLAY alert means the
+// switch's replay floor is ahead of our sequence counter — the signature
+// of a snapshot-restored peer (floors come back lease-bumped) or of a
+// controller resumed from a stale snapshot. The failed transaction stays
+// failed, but the counter is skipped past one FloorLease of headroom so
+// the caller's next attempt (with a fresh sequence number) can land.
 func (c *Controller) transact(h *swHandle, req *core.Message, wantResp bool) (*xfer, error) {
+	x, err := c.transactOnce(h, req, wantResp)
+	if err != nil {
+		var ae *AlertError
+		if errors.As(err, &ae) && ae.Reason == core.AlertReplay {
+			h.seq.SkipAhead(core.FloorLease)
+		}
+	}
+	return x, err
+}
+
+func (c *Controller) transactOnce(h *swHandle, req *core.Message, wantResp bool) (*xfer, error) {
 	if c.resilient() && c.quarantined(h.name) {
 		return &xfer{}, fmt.Errorf("%w: %s", ErrQuarantined, h.name)
 	}
@@ -415,7 +463,7 @@ func (c *Controller) vetResponses(h *swHandle, req *core.Message, resp []*core.M
 		if final {
 			_ = h.seq.Settle(r.SeqNum)
 		}
-		return true, fmt.Errorf("%w: data plane raised alert reason %d", ErrTampered, r.MsgType)
+		return true, fmt.Errorf("%w: %w", ErrTampered, &AlertError{Switch: h.name, Reason: r.MsgType, Seq: r.SeqNum})
 	}
 	if err := h.seq.Settle(r.SeqNum); err != nil {
 		return false, fmt.Errorf("%w: %v", ErrTampered, err)
@@ -428,14 +476,21 @@ func (c *Controller) vetResponses(h *swHandle, req *core.Message, resp []*core.M
 // retries, no verification.
 func (c *Controller) exchangeBytes(h *swHandle, data []byte) (out []*core.Message, lat time.Duration, sentBytes, rcvdBytes int, err error) {
 	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		// A crashed controller process sends nothing; in-flight operations
+		// die with it and their results are moot.
+		return nil, 0, 0, 0, ErrKilled
+	}
 	c.stats.MessagesSent++
 	c.stats.BytesSent += len(data)
+	outTap, inTap := h.outTap, h.inTap
 	c.mu.Unlock()
 	sentBytes = len(data)
 
 	wire := data
-	if h.outTap != nil {
-		wire = h.outTap(wire)
+	if outTap != nil {
+		wire = outTap(wire)
 	}
 	if wire == nil {
 		// Dropped on the controller->switch leg: the controller observes
@@ -449,8 +504,8 @@ func (c *Controller) exchangeBytes(h *swHandle, data []byte) (out []*core.Messag
 	lat = h.linkLat + res.Cost
 	responded := false
 	for _, pin := range res.PacketIns {
-		if h.inTap != nil {
-			pin = h.inTap(pin)
+		if inTap != nil {
+			pin = inTap(pin)
 		}
 		if pin == nil {
 			continue // dropped on the switch->controller leg

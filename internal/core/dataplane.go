@@ -252,7 +252,7 @@ func AddToProgram(prog *pisa.Program, cfg Config, integ Integration) error {
 	// controller). The egress counter stays in lockstep with the ingress
 	// one by construction (both bump once per install pass), so it needs no
 	// exposure — and cannot have any, being an egress-pipeline register.
-	if err := addRegMap(prog, append(append([]string(nil), integ.Exposed...), RegAlert, RegVer)); err != nil {
+	if err := addRegMap(prog, append(append([]string(nil), integ.Exposed...), RegAlert, RegVer, RegSeq, RegSeqOut)); err != nil {
 		return err
 	}
 
@@ -388,10 +388,15 @@ func addRegMap(prog *pisa.Program, exposed []string) error {
 // InstallRegMap populates the register-map table from p4info: two entries
 // per exposed register (read and write), as §VII describes. The alert
 // counter is always exposed so the controller can reset the DoS window
-// (§VIII) with an authenticated write, and the ingress key-version counter
-// so the controller can resync key state after an interrupted rollover.
+// (§VIII) with an authenticated write, the ingress key-version counter so
+// the controller can resync key state after an interrupted rollover, and
+// the sequencing registers (replay floors and outbound counters) so
+// crash recovery can audit floors and re-pair DP-DP sequencing on links
+// whose ends rebooted. Every access still rides the authenticated
+// channel; exposure adds no capability an adversary without K_local
+// lacks.
 func InstallRegMap(sw *pisa.Switch, info *p4rt.P4Info, exposed []string) error {
-	exposed = append(append([]string(nil), exposed...), RegAlert, RegVer)
+	exposed = append(append([]string(nil), exposed...), RegAlert, RegVer, RegSeq, RegSeqOut)
 	for _, reg := range exposed {
 		ri, err := info.RegisterByName(reg)
 		if err != nil {

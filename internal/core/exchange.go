@@ -125,6 +125,53 @@ func (s *SeqTracker) Outstanding() int {
 	return len(s.outstanding)
 }
 
+// Peek returns the next sequence number without reserving it — the value
+// a crash-safety snapshot persists as the issue high-water mark.
+func (s *SeqTracker) Peek() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}
+
+// Resume restarts numbering at next (if it is ahead of the current
+// counter) and forgets all outstanding requests: any response to a
+// pre-crash request is unverifiable after a restart and must read as
+// forged. Used when restoring from a snapshot.
+func (s *SeqTracker) Resume(next uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if next > s.next {
+		s.next = next
+	}
+	s.outstanding = make(map[uint32]bool)
+}
+
+// SkipAhead advances the counter by delta, abandoning the skipped range.
+// The recovery protocol uses it to jump past a restored replay floor it
+// cannot see directly: on an authenticated replay alert, skip and retry.
+// Saturates at the top of the 32-bit space rather than wrapping (a
+// wrapped counter would be rejected by the strictly-increasing replay
+// defence forever).
+func (s *SeqTracker) SkipAhead(delta uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.next > ^uint32(0)-delta {
+		s.next = ^uint32(0)
+		return
+	}
+	s.next += delta
+}
+
+// Reset returns the tracker to its freshly-constructed state (numbering
+// from 1, nothing outstanding) — the EAK re-seed fallback, matching a
+// factory-reset switch whose replay floors are zero.
+func (s *SeqTracker) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next = 1
+	s.outstanding = make(map[uint32]bool)
+}
+
 // PeekControl inspects an encoded control-channel packet without a full
 // decode, returning its hdrType and seqNum. ok is false when the bytes are
 // not a plausible P4Auth message. Used by the switch agent's idempotency

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Write-ahead journal entry codec. The controller records every
+// authenticated register write in a durable journal BEFORE putting it on
+// the wire, so a crash mid-write leaves evidence: on restart the recovery
+// protocol finds the intent, reads the register back under the restored
+// key, and either confirms the write landed or re-drives it. Entries use
+// the same magic/version/CRC armour as the snapshots — a torn journal
+// record is detected, not replayed.
+
+const (
+	walMagic   = 0x5041574A // "PAWJ": P4Auth Write Journal
+	walVersion = 1
+)
+
+// WriteState is a journal entry's position in the intent → applied/failed
+// lifecycle. Entries in WriteIntent only survive a crash: a live
+// controller settles every write to applied (deleted) or failed before
+// returning to its caller.
+type WriteState uint8
+
+const (
+	// WriteIntent: recorded before the wire send; outcome unknown.
+	WriteIntent WriteState = iota
+	// WriteApplied: confirmed on the switch (normally deleted instead).
+	WriteApplied
+	// WriteFailed: definitively not applied, kept for the operator.
+	WriteFailed
+)
+
+func (s WriteState) String() string {
+	switch s {
+	case WriteIntent:
+		return "intent"
+	case WriteApplied:
+		return "applied"
+	case WriteFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("WriteState(%d)", int(s))
+}
+
+// JournalEntry is one journaled register write.
+type JournalEntry struct {
+	ID       uint64
+	Switch   string
+	Register string
+	Index    uint32
+	Value    uint64
+	State    WriteState
+}
+
+// Encode serializes the entry with a trailing CRC32.
+func (e *JournalEntry) Encode() []byte {
+	b := make([]byte, 0, 48+len(e.Switch)+len(e.Register))
+	b = binary.BigEndian.AppendUint32(b, walMagic)
+	b = append(b, walVersion)
+	b = binary.BigEndian.AppendUint64(b, e.ID)
+	b = append(b, byte(e.State))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(e.Switch)))
+	b = append(b, e.Switch...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(e.Register)))
+	b = append(b, e.Register...)
+	b = binary.BigEndian.AppendUint32(b, e.Index)
+	b = binary.BigEndian.AppendUint64(b, e.Value)
+	return appendCRC(b)
+}
+
+// DecodeJournalEntry parses and checksum-verifies an encoded entry.
+func DecodeJournalEntry(b []byte) (*JournalEntry, error) {
+	body, err := checkCRC(b, walMagic, walVersion, "journal entry")
+	if err != nil {
+		return nil, err
+	}
+	r := reader{b: body}
+	e := &JournalEntry{ID: r.u64(), State: WriteState(r.u8())}
+	e.Switch = r.str()
+	e.Register = r.str()
+	e.Index = r.u32()
+	e.Value = r.u64()
+	if r.err != nil {
+		return nil, fmt.Errorf("core: truncated journal entry: %w", r.err)
+	}
+	if e.State > WriteFailed {
+		return nil, fmt.Errorf("core: journal entry has unknown state %d", uint8(e.State))
+	}
+	return e, nil
+}
+
+// Dump renders the entry for operators (p4auth-inspect journal).
+func (e *JournalEntry) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "journal entry %016x  %-7s  %s: %s[%d] <- %#x",
+		e.ID, e.State, e.Switch, e.Register, e.Index, e.Value)
+	return b.String()
+}

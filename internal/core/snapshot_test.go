@@ -1,0 +1,281 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"p4auth/internal/crypto"
+	"p4auth/internal/pisa"
+)
+
+func TestKeyStoreSnapshotRoundTrip(t *testing.T) {
+	ks := NewKeyStore(4, 0x5eed)
+	if _, err := ks.Install(KeyIndexLocal, 0x1111); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ks.Install(2, 0x2222); err != nil {
+		t.Fatal(err)
+	}
+	if err := ks.Prepare(1, 0x3333); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := ks.Snapshot()
+	snap.SeqNext = 77
+	snap.TakenNs = 123456
+
+	dec, err := DecodeSnapshot(snap.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, dec) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", dec, snap)
+	}
+
+	// Restore into a fresh store and verify behavioural equivalence.
+	ks2 := NewKeyStore(4, 0xDEAD)
+	if err := ks2.Restore(dec); err != nil {
+		t.Fatal(err)
+	}
+	k1, v1, err := ks.Current(KeyIndexLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, v2, err := ks2.Current(KeyIndexLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 || v1 != v2 {
+		t.Fatalf("restored local key (%#x,%d) != original (%#x,%d)", k2, v2, k1, v1)
+	}
+	// The seed must still be reachable at version 0 (two-version table).
+	if old, err := ks2.At(KeyIndexLocal, 0); err != nil || old != 0x5eed {
+		t.Fatalf("At(0) = %#x, %v; want seed", old, err)
+	}
+	if !ks2.Pending(1) {
+		t.Fatal("prepared key lost in round trip")
+	}
+	if ver, err := ks2.Commit(1); err != nil || ver != 0 {
+		t.Fatalf("Commit after restore: ver=%d err=%v", ver, err)
+	}
+	if got, _, err := ks2.Current(1); err != nil || got != 0x3333 {
+		t.Fatalf("committed restored pending key = %#x, %v", got, err)
+	}
+}
+
+func TestSnapshotRestoreGeometryMismatch(t *testing.T) {
+	snap := NewKeyStore(2, 1).Snapshot()
+	if err := NewKeyStore(4, 1).Restore(snap); err == nil {
+		t.Fatal("restore across slot-count mismatch must fail")
+	}
+	if err := (&KeyStore{slots: make([]keySlot, 3)}).Restore(nil); err == nil {
+		t.Fatal("nil snapshot must fail")
+	}
+}
+
+func TestSnapshotDecodeRejectsCorruption(t *testing.T) {
+	snap := NewKeyStore(2, 0x5eed).Snapshot()
+	snap.Floors = []uint32{10, 20, 30, 40, 50, 60}
+	b := snap.Encode()
+
+	if _, err := DecodeSnapshot(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated snapshot must fail decode")
+	}
+	for _, idx := range []int{0, 4, 9, len(b) - 2} {
+		c := append([]byte(nil), b...)
+		c[idx] ^= 0x40
+		if _, err := DecodeSnapshot(c); err == nil {
+			t.Fatalf("bit flip at %d undetected", idx)
+		}
+	}
+	// Unsupported future version.
+	c := append([]byte(nil), b...)
+	c[4] = 99
+	if _, err := DecodeSnapshot(c); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version accepted: %v", err)
+	}
+}
+
+func TestKeyStoreRollback(t *testing.T) {
+	ks := NewKeyStore(2, 0x5eed)
+	if _, err := ks.Install(KeyIndexLocal, 0xAAAA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ks.Install(KeyIndexLocal, 0xBBBB); err != nil {
+		t.Fatal(err)
+	}
+	if err := ks.Rollback(KeyIndexLocal); err != nil {
+		t.Fatal(err)
+	}
+	k, v, err := ks.Current(KeyIndexLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 0xAAAA || v != 1 {
+		t.Fatalf("after rollback: key=%#x ver=%d, want 0xAAAA ver 1", k, v)
+	}
+	if err := ks.Rollback(KeyIndexLocal); err != nil {
+		t.Fatal(err)
+	}
+	if err := ks.Rollback(KeyIndexLocal); err == nil {
+		t.Fatal("rollback below version 0 must fail")
+	}
+	if err := ks.Rollback(1); err == nil {
+		t.Fatal("rollback of unestablished slot must fail")
+	}
+}
+
+func TestKeyStoreResetToSeed(t *testing.T) {
+	ks := NewKeyStore(2, 0x5eed)
+	if _, err := ks.Install(1, 0x42); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ks.Install(KeyIndexLocal, 0x43); err != nil {
+		t.Fatal(err)
+	}
+	ks.ResetToSeed(0x5eed)
+	k, v, err := ks.Current(KeyIndexLocal)
+	if err != nil || k != 0x5eed || v != 0 {
+		t.Fatalf("after reset: key=%#x ver=%d err=%v", k, v, err)
+	}
+	if ks.Established(1) {
+		t.Fatal("port slot survived reset")
+	}
+}
+
+func TestSeqTrackerResumeAndSkip(t *testing.T) {
+	s := NewSeqTracker()
+	for i := 0; i < 5; i++ {
+		s.Next()
+	}
+	if s.Peek() != 6 {
+		t.Fatalf("Peek = %d, want 6", s.Peek())
+	}
+	if s.Outstanding() != 5 {
+		t.Fatalf("Outstanding = %d", s.Outstanding())
+	}
+
+	// Resume ahead: counter jumps, outstanding forgotten.
+	s.Resume(100)
+	if s.Peek() != 100 || s.Outstanding() != 0 {
+		t.Fatalf("after Resume(100): peek=%d outstanding=%d", s.Peek(), s.Outstanding())
+	}
+	// Resume behind is a no-op on the counter (never reissue).
+	s.Resume(50)
+	if s.Peek() != 100 {
+		t.Fatalf("Resume must never move the counter backwards: %d", s.Peek())
+	}
+
+	s.SkipAhead(FloorLease)
+	if s.Peek() != 100+FloorLease {
+		t.Fatalf("SkipAhead: peek=%d", s.Peek())
+	}
+	// Saturation, not wraparound.
+	s.SkipAhead(^uint32(0))
+	if s.Peek() != ^uint32(0) {
+		t.Fatalf("SkipAhead must saturate: %d", s.Peek())
+	}
+	s.Reset()
+	if s.Peek() != 1 || s.Outstanding() != 0 {
+		t.Fatalf("after Reset: peek=%d outstanding=%d", s.Peek(), s.Outstanding())
+	}
+}
+
+// buildTestSwitch compiles a minimal P4Auth switch for device snapshot
+// tests.
+func buildTestSwitch(t *testing.T) (*pisa.Switch, Config) {
+	t.Helper()
+	cfg := DefaultConfig(4, DigestCRC32)
+	prog := &pisa.Program{
+		Name:         "snap_test",
+		Headers:      []*pisa.HeaderDef{PTypeHeader()},
+		Parser:       []pisa.ParserState{{Name: pisa.ParserStart, Extract: HdrPType}},
+		DeparseOrder: []string{HdrPType},
+	}
+	if err := AddToProgram(prog, cfg, Integration{}); err != nil {
+		t.Fatal(err)
+	}
+	sw, err := pisa.NewSwitch(prog, pisa.TofinoProfile(), pisa.WithRandom(crypto.NewSeededRand(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Boot(sw, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return sw, cfg
+}
+
+func TestDeviceSnapshotRoundTripAndFloorLease(t *testing.T) {
+	sw, cfg := buildTestSwitch(t)
+	// Give the device distinctive state.
+	if err := sw.RegisterWrite(RegKeysV1, 2, 0xFEED); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.RegisterWrite(RegVer, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.RegisterWrite(RegSeq, 0, 41); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.RegisterWrite(RegSeq, 1, 17); err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := SnapshotDevice(sw, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeDeviceSnapshot(ds.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds, dec) {
+		t.Fatal("device snapshot round trip mismatch")
+	}
+
+	// Cold-wipe the switch, then warm-restore.
+	if err := FactoryReset(sw, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := RestoreDevice(sw, dec); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := sw.RegisterRead(RegKeysV1, 2); v != 0xFEED {
+		t.Fatalf("key not restored: %#x", v)
+	}
+	if v, _ := sw.RegisterRead(RegVer, 2); v != 3 {
+		t.Fatalf("version not restored: %d", v)
+	}
+	// Replay floors come back with the lease bump, never verbatim.
+	if v, _ := sw.RegisterRead(RegSeq, 0); v != 41+FloorLease {
+		t.Fatalf("floor[0] = %d, want %d", v, 41+FloorLease)
+	}
+	if v, _ := sw.RegisterRead(RegSeq, 1); v != 17+FloorLease {
+		t.Fatalf("floor[1] = %d, want %d", v, 17+FloorLease)
+	}
+
+	// Corruption must be detected, not restored.
+	b := ds.Encode()
+	b[len(b)/2] ^= 0x01
+	if _, err := DecodeDeviceSnapshot(b); err == nil {
+		t.Fatal("corrupted device snapshot decoded")
+	}
+}
+
+func TestDeviceSnapshotFloorSaturates(t *testing.T) {
+	sw, _ := buildTestSwitch(t)
+	if err := sw.RegisterWrite(RegSeq, 3, 0xFFFF_FFF0); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := SnapshotDevice(sw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RestoreDevice(sw, ds); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := sw.RegisterRead(RegSeq, 3); v != 0xFFFF_FFFF {
+		t.Fatalf("floor near top must saturate at 2^32-1, got %#x", v)
+	}
+}

@@ -1,0 +1,77 @@
+package deploy
+
+import (
+	"fmt"
+
+	"p4auth/internal/core"
+	"p4auth/internal/statestore"
+	"p4auth/internal/switchos"
+)
+
+// Crash-survival operations on a deployed switch. A switch-agent restart
+// in the real system loses the agent's memory (idempotency cache) and —
+// on a full switch reboot — the data-plane registers, which revert to
+// the binary's compile-time image (K_seed in slot 0, everything else
+// zero). These helpers model both the crash and the two recovery paths:
+// warm (restore a persisted register snapshot, replay floors bumped) and
+// cold (factory state; the controller must re-seed via EAK).
+
+// Crash marks the switch dead: all I/O toward it is silence until a
+// Reboot. Pending in-flight packets already queued in a simulator are
+// unaffected (they arrive at a dead port and vanish).
+func (s *Switch) Crash() {
+	s.Host.SetDown(true)
+}
+
+// Snapshot captures the switch's P4Auth register file for persistence.
+// Fails on a crashed switch — a dead node cannot persist state.
+func (s *Switch) Snapshot(takenNs uint64) (*core.DeviceSnapshot, error) {
+	if s.Host.Down() {
+		return nil, fmt.Errorf("%w: %s", switchos.ErrDown, s.Host.Name)
+	}
+	return core.SnapshotDevice(s.Host.SW, takenNs)
+}
+
+// SaveState snapshots the register file and persists it under key.
+func (s *Switch) SaveState(store statestore.Store, key string, takenNs uint64) error {
+	ds, err := s.Snapshot(takenNs)
+	if err != nil {
+		return err
+	}
+	return store.Save(key, ds.Encode())
+}
+
+// Reboot brings a crashed (or running) switch back up. The agent's
+// idempotency cache is always lost. With warm == nil this is a cold
+// boot: registers revert to factory state (seed key only) and every
+// established key is gone. With a snapshot, registers are restored and
+// the replay floors come back bumped by core.FloorLease, so nothing the
+// pre-crash switch could have accepted is accepted again.
+func (s *Switch) Reboot(warm *core.DeviceSnapshot) error {
+	if err := core.FactoryReset(s.Host.SW, s.Cfg); err != nil {
+		return err
+	}
+	s.Host.ClearCache()
+	if warm != nil {
+		if err := core.RestoreDevice(s.Host.SW, warm); err != nil {
+			return err
+		}
+	}
+	s.Host.SetDown(false)
+	return nil
+}
+
+// RebootFromStore reboots using the snapshot under key if one exists and
+// decodes cleanly; otherwise it cold-boots. It reports whether the
+// restart was warm. A present-but-corrupt snapshot degrades to cold —
+// the checksummed codec exists precisely so a torn write cannot restore
+// garbage keys.
+func (s *Switch) RebootFromStore(store statestore.Store, key string) (warm bool, err error) {
+	b, err := store.Load(key)
+	if err == nil {
+		if ds, derr := core.DecodeDeviceSnapshot(b); derr == nil {
+			return true, s.Reboot(ds)
+		}
+	}
+	return false, s.Reboot(nil)
+}

@@ -1,0 +1,114 @@
+package deploy
+
+import (
+	"errors"
+	"testing"
+
+	"p4auth/internal/core"
+	"p4auth/internal/statestore"
+	"p4auth/internal/switchos"
+)
+
+func TestCrashSilencesIO(t *testing.T) {
+	sw, err := Build(SwitchSpec{Name: "c1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Crash()
+	if !sw.Host.Down() {
+		t.Fatal("Crash did not mark the host down")
+	}
+	if _, _, err := sw.Host.APIRegisterRead(0, 0); !errors.Is(err, switchos.ErrDown) {
+		t.Fatalf("API read on crashed switch: %v, want ErrDown", err)
+	}
+	res, err := sw.Host.PacketOut(nil)
+	if err != nil || len(res.PacketIns) != 0 {
+		t.Fatalf("crashed switch must be silent, got %d replies err=%v", len(res.PacketIns), err)
+	}
+	if _, err := sw.Snapshot(0); !errors.Is(err, switchos.ErrDown) {
+		t.Fatalf("snapshot of crashed switch: %v, want ErrDown", err)
+	}
+}
+
+func TestColdRebootRevertsToFactoryState(t *testing.T) {
+	sw, err := Build(SwitchSpec{Name: "c2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Host.SW.RegisterWrite(core.RegKeysV1, core.KeyIndexLocal, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Host.SW.RegisterWrite(core.RegVer, core.KeyIndexLocal, 1); err != nil {
+		t.Fatal(err)
+	}
+	sw.Crash()
+	if err := sw.Reboot(nil); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Host.Down() {
+		t.Fatal("reboot left the host down")
+	}
+	if v, _ := sw.Host.SW.RegisterRead(core.RegVer, core.KeyIndexLocal); v != 0 {
+		t.Fatalf("cold boot must zero versions, got %d", v)
+	}
+	if v, _ := sw.Host.SW.RegisterRead(core.RegKeysV0, core.KeyIndexLocal); v != sw.Cfg.Seed {
+		t.Fatalf("cold boot must reload the seed, got %#x", v)
+	}
+}
+
+func TestWarmRebootFromStore(t *testing.T) {
+	sw, err := Build(SwitchSpec{Name: "c3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Host.SW.RegisterWrite(core.RegKeysV1, core.KeyIndexLocal, 0xCAFE); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Host.SW.RegisterWrite(core.RegVer, core.KeyIndexLocal, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Host.SW.RegisterWrite(core.RegSeq, 0, 55); err != nil {
+		t.Fatal(err)
+	}
+
+	store := statestore.NewMem()
+	if err := sw.SaveState(store, "dev/c3", 42); err != nil {
+		t.Fatal(err)
+	}
+	sw.Crash()
+	warm, err := sw.RebootFromStore(store, "dev/c3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm {
+		t.Fatal("expected warm restart with a valid snapshot")
+	}
+	if v, _ := sw.Host.SW.RegisterRead(core.RegKeysV1, core.KeyIndexLocal); v != 0xCAFE {
+		t.Fatalf("warm boot lost the established key: %#x", v)
+	}
+	if v, _ := sw.Host.SW.RegisterRead(core.RegSeq, 0); v != 55+core.FloorLease {
+		t.Fatalf("replay floor = %d, want lease-bumped %d", v, 55+core.FloorLease)
+	}
+
+	// Missing snapshot degrades to cold.
+	sw.Crash()
+	warm, err = sw.RebootFromStore(store, "dev/nope")
+	if err != nil || warm {
+		t.Fatalf("missing snapshot: warm=%v err=%v, want cold boot", warm, err)
+	}
+
+	// Corrupt snapshot also degrades to cold rather than restoring garbage.
+	b, _ := store.Load("dev/c3")
+	b[len(b)-1] ^= 0xFF
+	if err := store.Save("dev/corrupt", b); err != nil {
+		t.Fatal(err)
+	}
+	sw.Crash()
+	warm, err = sw.RebootFromStore(store, "dev/corrupt")
+	if err != nil || warm {
+		t.Fatalf("corrupt snapshot: warm=%v err=%v, want cold boot", warm, err)
+	}
+	if v, _ := sw.Host.SW.RegisterRead(core.RegKeysV1, core.KeyIndexLocal); v != 0 {
+		t.Fatal("corrupt snapshot must not restore keys")
+	}
+}

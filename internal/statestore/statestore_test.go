@@ -1,0 +1,136 @@
+package statestore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// storeContract exercises the behaviours every Store implementation must
+// share.
+func storeContract(t *testing.T, s Store) {
+	t.Helper()
+
+	if _, err := s.Load("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Load(missing) = %v, want ErrNotFound", err)
+	}
+	if err := s.Save("a/b/key-1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("a/b/key-2", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("a/b/key-1", []byte("v1b")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load("a/b/key-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v1b" {
+		t.Fatalf("Load after overwrite = %q, want v1b", got)
+	}
+	keys, err := s.Keys("a/b/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"a/b/key-1", "a/b/key-2"}; !reflect.DeepEqual(keys, want) {
+		t.Fatalf("Keys = %v, want %v", keys, want)
+	}
+	if err := s.Delete("a/b/key-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("a/b/key-1"); err != nil {
+		t.Fatalf("double delete should be a no-op, got %v", err)
+	}
+	if _, err := s.Load("a/b/key-1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Load after delete = %v, want ErrNotFound", err)
+	}
+
+	for _, bad := range []string{"", "a//b", "../x", "a/./b", "sp ace", "semi;colon"} {
+		if err := s.Save(bad, []byte("x")); err == nil {
+			t.Errorf("Save(%q) accepted an invalid key", bad)
+		}
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	storeContract(t, NewMem())
+}
+
+func TestFileStore(t *testing.T) {
+	s, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeContract(t, s)
+}
+
+func TestMemStoreCopiesValues(t *testing.T) {
+	s := NewMem()
+	v := []byte("abc")
+	if err := s.Save("k", v); err != nil {
+		t.Fatal(err)
+	}
+	v[0] = 'X'
+	got, err := s.Load("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("stored value aliased caller buffer: %q", got)
+	}
+	got[1] = 'Y'
+	again, _ := s.Load("k")
+	if string(again) != "abc" {
+		t.Fatalf("loaded value aliased store buffer: %q", again)
+	}
+}
+
+func TestFileStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("ctl/s1", []byte("snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	// A process restart is a fresh File over the same directory.
+	s2, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Load("ctl/s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "snapshot" {
+		t.Fatalf("reopened store returned %q", got)
+	}
+}
+
+func TestFileStoreIgnoresTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("k1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-Save leaves a temp file behind; it must not surface as
+	// a key.
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-123"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.Keys("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keys, []string{"k1"}) {
+		t.Fatalf("Keys = %v, want [k1]", keys)
+	}
+}

@@ -14,6 +14,7 @@ package switchos
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"time"
 
@@ -175,6 +176,7 @@ type Host struct {
 
 	hooks [numBoundaries]*Hooks
 	cache *responseCache
+	down  bool
 }
 
 // NewHost assembles a host around a data plane. The agent's idempotency
@@ -199,6 +201,26 @@ func (h *Host) SetResponseCache(capacity int) {
 	}
 	h.cache = newResponseCache(capacity)
 }
+
+// SetDown marks the switch crashed (true) or running (false). A down
+// switch is silent: packets sent to it vanish (exactly what a peer of a
+// crashed node observes) and API calls fail. Chaos harnesses flip this
+// around a Reboot to model a crash/restart cycle.
+func (h *Host) SetDown(down bool) { h.down = down }
+
+// Down reports whether the switch is crashed.
+func (h *Host) Down() bool { return h.down }
+
+// ClearCache drops the agent's idempotency cache contents, as a restart
+// of the agent process would. The capacity is preserved.
+func (h *Host) ClearCache() {
+	if h.cache != nil {
+		h.cache = newResponseCache(h.cache.cap)
+	}
+}
+
+// ErrDown is returned by API operations on a crashed switch.
+var ErrDown = errors.New("switchos: switch is down")
 
 // Install places hooks at a boundary (nil uninstalls) — the backdoor
 // installation step of the paper's threat model.
@@ -245,6 +267,9 @@ func (h *Host) regResultUp(op *RegOp, value *uint64) {
 // APIRegisterWrite performs a P4Runtime-style register write through the
 // full stack, returning the modeled latency of the request path.
 func (h *Host) APIRegisterWrite(regID uint32, index uint32, value uint64) (time.Duration, error) {
+	if h.down {
+		return 0, fmt.Errorf("%w: %s", ErrDown, h.Name)
+	}
 	cost := h.Costs.AgentBase + 2*h.Costs.ComposeField // index + data
 	op := &RegOp{ID: regID, Index: index, Value: value, IsWrite: true}
 	h.regOpDown(op)
@@ -261,6 +286,9 @@ func (h *Host) APIRegisterWrite(regID uint32, index uint32, value uint64) (time.
 // APIRegisterRead performs a P4Runtime-style register read through the
 // full stack.
 func (h *Host) APIRegisterRead(regID uint32, index uint32) (uint64, time.Duration, error) {
+	if h.down {
+		return 0, 0, fmt.Errorf("%w: %s", ErrDown, h.Name)
+	}
 	cost := h.Costs.AgentBase + h.Costs.ComposeField // index only
 	op := &RegOp{ID: regID, Index: index}
 	h.regOpDown(op)
@@ -296,6 +324,11 @@ type IOResult struct {
 // without re-entering the pipeline, so a duplicate EAK/ADHKD neither
 // re-derives key state nor trips the replay defence.
 func (h *Host) PacketOut(data []byte) (IOResult, error) {
+	if h.down {
+		// A crashed switch answers nothing; the controller sees the same
+		// silence as a lost packet and its retransmission budget applies.
+		return IOResult{}, nil
+	}
 	res := IOResult{Cost: h.Costs.PacketIOBase + time.Duration(len(data))*h.Costs.PerByte}
 	seq, cacheable := h.cacheKey(data)
 	if cacheable {
@@ -374,6 +407,9 @@ func (h *Host) cacheKey(data []byte) (uint32, bool) {
 // NetworkPacket injects a packet arriving on a network port directly into
 // the pipeline (no software stack on the way in).
 func (h *Host) NetworkPacket(port int, data []byte) (IOResult, error) {
+	if h.down {
+		return IOResult{}, nil // crashed: the wire ends in a dead port
+	}
 	return h.runPipeline(data, port, IOResult{})
 }
 

@@ -14,4 +14,12 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# The deterministic chaos smoke runs with fixed seeds (see
+# internal/netsim/chaos): controller kills and switch crashes injected
+# mid-rollover, mid-register-write, and mid-port-key-init, with the
+# crash-safety invariants checked after every recovery. -count=1 defeats
+# the test cache so the gate always exercises it.
+echo "== chaos short suite (fixed seeds)"
+go test -race -count=1 -run 'TestChaosShort|TestChaosDeterminism' ./internal/netsim/chaos/
+
 echo "== OK"
