@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench chaos
+.PHONY: check build vet test race bench bench-save bench-smoke chaos stress
 
-check: build vet race chaos
+check: build vet race chaos stress bench-smoke
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,22 @@ race:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaosShort|TestChaosDeterminism' ./internal/netsim/chaos/
 
+# Concurrency stress: pipelined writers vs concurrent key rollovers under
+# fault taps, plus the sharded-switch suite, with fresh interleavings.
+stress:
+	$(GO) test -race -count=1 ./internal/controller/ ./internal/pisa/
+
+# Quick benchmark smoke for the gate: the hot path must run end to end
+# through the benchmark harness.
+bench-smoke:
+	$(GO) test -bench=BenchmarkAuthenticatedWrite -benchtime=10x -run '^$$' -short .
+
 # Full evaluation benchmarks (Table I/II/III, Fig. 16-20). Slow; the test
 # targets above skip them via -short where applicable.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark artifact: micro-bench ns/op, B/op, allocs/op
+# plus the serial-vs-pipelined Fig. 19 sweep, checked in as BENCH_<date>.json.
+bench-save:
+	$(GO) run ./cmd/p4auth-bench -save BENCH_$$(date -u +%Y-%m-%d).json

@@ -7,6 +7,7 @@
 //	p4auth-bench -exp fig17       # one experiment
 //	p4auth-bench -exp fig16,fig21 # a subset
 //	p4auth-bench -list            # list experiment ids
+//	p4auth-bench -save FILE       # write machine-readable BENCH json
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"p4auth/internal/bench"
 )
@@ -21,7 +23,25 @@ import (
 func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	save := flag.String("save", "", "write micro-bench + pipelined-throughput JSON to this file and exit")
 	flag.Parse()
+
+	if *save != "" {
+		bj, err := bench.SaveBenchJSON(*save, time.Now().UTC().Format("2006-01-02"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, m := range bj.Micro {
+			fmt.Printf("%-24s %12.1f ns/op %8d B/op %6d allocs/op\n",
+				m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+		}
+		for _, r := range bj.Fig19Pipe {
+			fmt.Printf("fig19p window %-3d %12.0f req/s %8.2fx\n", r.Window, r.Tput, r.Speedup)
+		}
+		fmt.Printf("wrote %s\n", *save)
+		return
+	}
 
 	runners := bench.All()
 	if *list {

@@ -84,7 +84,12 @@ func formatState(cmd string, b []byte) (string, error) {
 	case "journal":
 		e, err := core.DecodeJournalEntry(b)
 		if err != nil {
-			return "", err
+			// Not a single-write record; try the group-commit format.
+			be, berr := core.DecodeJournalBatch(b)
+			if berr != nil {
+				return "", err
+			}
+			return be.Dump() + "\n", nil
 		}
 		return e.Dump() + "\n", nil
 	}

@@ -1,0 +1,32 @@
+package bench
+
+import "testing"
+
+// TestFig19PipelinedSpeedup is the tentpole acceptance bar: the windowed
+// transport must deliver at least 3x the serial authenticated write
+// throughput at a window of 8.
+func TestFig19PipelinedSpeedup(t *testing.T) {
+	n := 256
+	if testing.Short() {
+		n = 64
+	}
+	speedup, err := PipelinedSpeedup(n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup < 3.0 {
+		t.Fatalf("window-8 speedup %.2fx, want >= 3x", speedup)
+	}
+	t.Logf("window-8 speedup: %.2fx", speedup)
+}
+
+func TestFig19PipelinedReport(t *testing.T) {
+	rep, err := Fig19Pipelined(Fig19PipelinedOpts{Requests: 64, Windows: []int{1, 4, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows: %d", len(rep.Rows))
+	}
+	t.Logf("\n%s", rep)
+}

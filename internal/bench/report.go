@@ -78,6 +78,7 @@ func All() []Runner {
 		{"fig17", func() (*Report, error) { return Fig17(DefaultFig17Opts()) }},
 		{"fig18", func() (*Report, error) { return Fig18(DefaultRegRWOpts()) }},
 		{"fig19", func() (*Report, error) { return Fig19(DefaultRegRWOpts()) }},
+		{"fig19p", func() (*Report, error) { return Fig19Pipelined(DefaultFig19PipelinedOpts()) }},
 		{"table2", func() (*Report, error) { return TableII() }},
 		{"fig20", func() (*Report, error) { return Fig20(DefaultFig20Opts()) }},
 		{"fig21", func() (*Report, error) { return Fig21(DefaultFig21Opts()) }},

@@ -83,6 +83,24 @@ type swHandle struct {
 	// outTap sees PacketOuts, inTap sees PacketIns; nil return = drop.
 	outTap netsim.Tap
 	inTap  netsim.Tap
+
+	// opMu serializes wire operations toward this switch and guards the
+	// scratch below. Different switches proceed concurrently; on one
+	// switch, a pipelined batch and a KMP leg interleave at operation
+	// granularity, never mid-exchange. Lock order: opMu before c.mu;
+	// never two handles' opMu at once (multi-switch flows lock per leg).
+	opMu sync.Mutex
+	// Reusable buffers for the zero-allocation request path. txMsg/txReg
+	// hold the in-flight request; encBuf its wire bytes; io the switch's
+	// I/O result; rx/rxBufs the decoded PacketIns. All are valid only
+	// while opMu is held — cold paths copy responses out before
+	// releasing it.
+	encBuf []byte
+	io     switchos.IOResult
+	rx     []*core.Message
+	rxBufs []*core.MessageBuf
+	txMsg  core.Message
+	txReg  core.RegPayload
 }
 
 type portKey struct {
@@ -263,13 +281,43 @@ func (c *Controller) links() [][2]portKey {
 // and returns decoded PacketIn responses plus the modeled latency of the
 // full round (link out + stack/pipeline + link back when a response
 // exists). One attempt; the retransmission engine lives in transact.
+// The responses are private copies, safe to hold after the call.
 func (c *Controller) exchange(h *swHandle, m *core.Message) ([]*core.Message, time.Duration, error) {
 	data, err := m.Encode()
 	if err != nil {
 		return nil, 0, err
 	}
-	out, lat, _, _, err := c.exchangeBytes(h, data)
+	h.opMu.Lock()
+	out, lat, _, _, err := c.exchangeBytesLocked(h, data)
+	out = cloneMessages(out)
+	h.opMu.Unlock()
 	return out, lat, err
+}
+
+// cloneMessages deep-copies decoded responses out of a handle's reusable
+// receive buffers, so callers that outlive the opMu critical section
+// never alias scratch the next exchange overwrites.
+func cloneMessages(in []*core.Message) []*core.Message {
+	if in == nil {
+		return nil
+	}
+	out := make([]*core.Message, len(in))
+	for i, m := range in {
+		cm := *m
+		if m.Reg != nil {
+			reg := *m.Reg
+			cm.Reg = &reg
+		}
+		if m.Kx != nil {
+			kx := *m.Kx
+			cm.Kx = &kx
+		}
+		if len(m.Aux) > 0 {
+			cm.Aux = append([]byte(nil), m.Aux...)
+		}
+		out[i] = &cm
+	}
+	return out
 }
 
 // relay walks NetOut emissions across links, injecting them at the peer
@@ -346,6 +394,33 @@ func (h *swHandle) signedMessage(hdrType, msgType uint8, reg *core.RegPayload, k
 		return nil, err
 	}
 	return m, nil
+}
+
+// scratchRequest builds and signs a register request in the handle's
+// scratch message — the zero-allocation hot path behind the public
+// register APIs. Under Config.Encrypt, write values are encrypted with
+// the sequence-number-derived keystream before signing (§XI's
+// encrypt-then-MAC), which is why the sequence number is reserved before
+// the payload is filled. Callers must hold h.opMu; the returned message
+// is valid until the next scratchRequest on this handle.
+func (h *swHandle) scratchRequest(msgType uint8, regID, index uint32, value uint64) (*core.Message, error) {
+	key, ver, err := h.keys.Current(core.KeyIndexLocal)
+	if err != nil {
+		return nil, err
+	}
+	seq := h.seq.Next()
+	if h.cfg.Encrypt && msgType == core.MsgWriteReq {
+		value = core.EncryptRequestValue(h.dig, key, seq, value)
+	}
+	h.txReg = core.RegPayload{RegID: regID, Index: index, Value: value}
+	h.txMsg = core.Message{
+		Header: core.Header{HdrType: core.HdrRegister, MsgType: msgType, SeqNum: seq, KeyVersion: ver},
+		Reg:    &h.txReg,
+	}
+	if err := h.txMsg.Sign(h.dig, key); err != nil {
+		return nil, err
+	}
+	return &h.txMsg, nil
 }
 
 // checkResponse authenticates a response and settles its sequence number

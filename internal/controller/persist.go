@@ -190,8 +190,69 @@ func (c *Controller) walSettle(sw string, id uint64, applied bool, register stri
 	_ = st.Save(walKey(sw, id), e.Encode())
 }
 
+// walBeginBatch records one group-commit intent record covering a whole
+// pipelined window: a single durable Save before the first wire send.
+// Returns 0 (and writes nothing) when journaling is off or the process
+// is dead.
+func (c *Controller) walBeginBatch(sw string, writes []RegWrite) (uint64, error) {
+	c.mu.Lock()
+	st, dead := c.store, c.dead
+	if st == nil || dead {
+		c.mu.Unlock()
+		return 0, nil
+	}
+	c.walID++
+	id := c.walID
+	c.mu.Unlock()
+	e := &core.JournalBatch{ID: id, Switch: sw, Writes: make([]core.BatchWrite, len(writes))}
+	for i, w := range writes {
+		e.Writes[i] = core.BatchWrite{Register: w.Register, Index: w.Index, Value: w.Value, State: core.WriteIntent}
+	}
+	return id, st.Save(walKey(sw, id), e.Encode())
+}
+
+// walSettleBatch resolves a batch record after the windowed exchange:
+// fully-applied batches are deleted; otherwise the record is rewritten
+// with each entry's final state — no WriteIntent ever survives a live
+// settle, so recovery's read-back only runs for genuine crashes.
+func (c *Controller) walSettleBatch(sw string, id uint64, entries []batchEntry) {
+	if id == 0 {
+		return
+	}
+	c.mu.Lock()
+	st, dead := c.store, c.dead
+	c.mu.Unlock()
+	if st == nil || dead {
+		return
+	}
+	allOK := true
+	for i := range entries {
+		if entries[i].err != nil {
+			allOK = false
+			break
+		}
+	}
+	if allOK {
+		_ = st.Delete(walKey(sw, id))
+		return
+	}
+	e := &core.JournalBatch{ID: id, Switch: sw, Writes: make([]core.BatchWrite, len(entries))}
+	for i := range entries {
+		state := core.WriteApplied
+		if entries[i].err != nil {
+			state = core.WriteFailed
+		}
+		e.Writes[i] = core.BatchWrite{
+			Register: entries[i].register, Index: entries[i].index,
+			Value: entries[i].value, State: state,
+		}
+	}
+	_ = st.Save(walKey(sw, id), e.Encode())
+}
+
 // JournalEntries returns the decoded journal entries persisted for a
-// switch, in ID order. Undecodable (torn) records are skipped.
+// switch, in ID order, with batch records expanded into their per-write
+// entries. Undecodable (torn) records are skipped.
 func (c *Controller) JournalEntries(sw string) ([]core.JournalEntry, error) {
 	st := c.stateStore()
 	if st == nil {
@@ -209,6 +270,8 @@ func (c *Controller) JournalEntries(sw string) ([]core.JournalEntry, error) {
 		}
 		if e, derr := core.DecodeJournalEntry(b); derr == nil {
 			out = append(out, *e)
+		} else if be, berr := core.DecodeJournalBatch(b); berr == nil {
+			out = append(out, be.Entries()...)
 		}
 	}
 	return out, nil
@@ -384,6 +447,16 @@ func (c *Controller) replayJournal(h *swHandle) (applied, redriven, failed int, 
 		}
 		e, derr := core.DecodeJournalEntry(b)
 		if derr != nil {
+			if be, berr := core.DecodeJournalBatch(b); berr == nil {
+				a, r, f, berrs := c.replayJournalBatch(h, st, k, be)
+				applied += a
+				redriven += r
+				failed += f
+				if berrs != nil {
+					errs = append(errs, berrs)
+				}
+				continue
+			}
 			// Torn record: its write cannot be reconstructed. Leave it for
 			// the operator and report.
 			failed++
@@ -413,6 +486,58 @@ func (c *Controller) replayJournal(h *swHandle) (applied, redriven, failed int, 
 			e.State = core.WriteFailed
 			_ = st.Save(k, e.Encode())
 		}
+	}
+	return applied, redriven, failed, errors.Join(errs...)
+}
+
+// replayJournalBatch settles one surviving group-commit record with the
+// same per-entry discipline as single intents: each WriteIntent is
+// disambiguated by authenticated read-back, re-driven once if absent,
+// and marked failed otherwise. A fully-settled batch is deleted; a batch
+// with failures is rewritten with per-entry final states.
+func (c *Controller) replayJournalBatch(h *swHandle, st statestore.Store, k string, e *core.JournalBatch) (applied, redriven, failed int, err error) {
+	var errs []error
+	dirty := false
+	for i := range e.Writes {
+		w := &e.Writes[i]
+		switch w.State {
+		case core.WriteApplied:
+			// Settled before the crash (a live settle would have rewritten
+			// or deleted the record); nothing to do.
+		case core.WriteFailed:
+			failed++
+		case core.WriteIntent:
+			got, _, rerr := c.regRead(h, w.Register, w.Index)
+			if rerr == nil && got == w.Value {
+				applied++
+				w.State = core.WriteApplied
+				dirty = true
+				continue
+			}
+			if _, werr := c.regWrite(h, w.Register, w.Index, w.Value); werr == nil {
+				redriven++
+				w.State = core.WriteApplied
+				dirty = true
+				continue
+			} else {
+				errs = append(errs, fmt.Errorf("%s[%d]: re-drive: %w", k, i, werr))
+			}
+			failed++
+			w.State = core.WriteFailed
+			dirty = true
+		}
+	}
+	allSettled := true
+	for i := range e.Writes {
+		if e.Writes[i].State != core.WriteApplied {
+			allSettled = false
+			break
+		}
+	}
+	if allSettled {
+		_ = st.Delete(k)
+	} else if dirty {
+		_ = st.Save(k, e.Encode())
 	}
 	return applied, redriven, failed, errors.Join(errs...)
 }

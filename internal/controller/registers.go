@@ -41,24 +41,30 @@ func (c *Controller) WriteRegister(sw, register string, index uint32, value uint
 
 // regRead is the transact-based register read used by both the public API
 // and the KMP recovery procedures (which need the traffic accounting).
-func (c *Controller) regRead(h *swHandle, register string, index uint32) (uint64, *xfer, error) {
+// It is allocation-free on the happy path: the request is built in the
+// handle's scratch under opMu and the response is consumed before the
+// lock is released (x.resp never escapes).
+func (c *Controller) regRead(h *swHandle, register string, index uint32) (uint64, xfer, error) {
 	ri, err := h.info.RegisterByName(register)
 	if err != nil {
-		return 0, &xfer{}, err
+		return 0, xfer{}, err
 	}
-	req, err := h.signedMessage(core.HdrRegister, core.MsgReadReq,
-		&core.RegPayload{RegID: ri.ID, Index: index}, nil)
+	h.opMu.Lock()
+	defer h.opMu.Unlock()
+	req, err := h.scratchRequest(core.MsgReadReq, ri.ID, index, 0)
 	if err != nil {
-		return 0, &xfer{}, err
+		return 0, xfer{}, err
 	}
-	x, err := c.transact(h, req, true)
+	x, err := c.transactLocked(h, req, true)
+	resp := x.resp
+	x.resp = nil
 	if err != nil {
 		return 0, x, err
 	}
-	if len(x.resp) != 1 {
-		return 0, x, fmt.Errorf("controller: %s: %d responses to readReq", h.name, len(x.resp))
+	if len(resp) != 1 {
+		return 0, x, fmt.Errorf("controller: %s: %d responses to readReq", h.name, len(resp))
 	}
-	r := x.resp[0]
+	r := resp[0]
 	if r.MsgType == core.MsgNAck {
 		return 0, x, fmt.Errorf("%w: read %s[%d] on %s", ErrNAck, register, index, h.name)
 	}
@@ -73,44 +79,31 @@ func (c *Controller) regRead(h *swHandle, register string, index uint32) (uint64
 	return value, x, nil
 }
 
-// regWrite is the transact-based register write.
-func (c *Controller) regWrite(h *swHandle, register string, index uint32, value uint64) (*xfer, error) {
+// regWrite is the transact-based register write (same zero-allocation
+// discipline as regRead; the §XI encrypt-then-MAC variant is handled
+// inside scratchRequest, which reserves the sequence number before
+// encrypting).
+func (c *Controller) regWrite(h *swHandle, register string, index uint32, value uint64) (xfer, error) {
 	ri, err := h.info.RegisterByName(register)
 	if err != nil {
-		return &xfer{}, err
+		return xfer{}, err
 	}
-	var req *core.Message
-	if h.cfg.Encrypt {
-		// §XI extension: encrypt-then-MAC — the keystream depends on the
-		// sequence number, which signedMessage assigns, so encrypt after
-		// building the message but before signing. Reserve the seq first.
-		key, ver, kerr := h.keys.Current(core.KeyIndexLocal)
-		if kerr != nil {
-			return &xfer{}, kerr
-		}
-		seq := h.seq.Next()
-		req = &core.Message{
-			Header: core.Header{HdrType: core.HdrRegister, MsgType: core.MsgWriteReq, SeqNum: seq, KeyVersion: ver},
-			Reg:    &core.RegPayload{RegID: ri.ID, Index: index, Value: core.EncryptRequestValue(h.dig, key, seq, value)},
-		}
-		if err := req.Sign(h.dig, key); err != nil {
-			return &xfer{}, err
-		}
-	} else {
-		req, err = h.signedMessage(core.HdrRegister, core.MsgWriteReq,
-			&core.RegPayload{RegID: ri.ID, Index: index, Value: value}, nil)
-		if err != nil {
-			return &xfer{}, err
-		}
+	h.opMu.Lock()
+	defer h.opMu.Unlock()
+	req, err := h.scratchRequest(core.MsgWriteReq, ri.ID, index, value)
+	if err != nil {
+		return xfer{}, err
 	}
-	x, err := c.transact(h, req, true)
+	x, err := c.transactLocked(h, req, true)
+	resp := x.resp
+	x.resp = nil
 	if err != nil {
 		return x, err
 	}
-	if len(x.resp) != 1 {
-		return x, fmt.Errorf("controller: %s: %d responses to writeReq", h.name, len(x.resp))
+	if len(resp) != 1 {
+		return x, fmt.Errorf("controller: %s: %d responses to writeReq", h.name, len(resp))
 	}
-	if x.resp[0].MsgType == core.MsgNAck {
+	if resp[0].MsgType == core.MsgNAck {
 		return x, fmt.Errorf("%w: write %s[%d] on %s", ErrNAck, register, index, h.name)
 	}
 	return x, nil

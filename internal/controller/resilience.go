@@ -303,10 +303,7 @@ type xfer struct {
 }
 
 // account folds a transact's traffic into a KMPResult.
-func (r *KMPResult) account(x *xfer) {
-	if x == nil {
-		return
-	}
+func (r *KMPResult) account(x xfer) {
 	r.Messages += x.sends + x.recvs
 	r.Bytes += x.sentBytes + x.rcvdBytes
 	r.RTT += x.lat
@@ -333,8 +330,20 @@ var errDecode = errors.New("controller: undecodable PacketIn")
 // controller resumed from a stale snapshot. The failed transaction stays
 // failed, but the counter is skipped past one FloorLease of headroom so
 // the caller's next attempt (with a fresh sequence number) can land.
-func (c *Controller) transact(h *swHandle, req *core.Message, wantResp bool) (*xfer, error) {
-	x, err := c.transactOnce(h, req, wantResp)
+func (c *Controller) transact(h *swHandle, req *core.Message, wantResp bool) (xfer, error) {
+	h.opMu.Lock()
+	x, err := c.transactLocked(h, req, wantResp)
+	x.resp = cloneMessages(x.resp)
+	h.opMu.Unlock()
+	return x, err
+}
+
+// transactLocked is transact for callers already holding h.opMu (the
+// zero-allocation register path and the windowed batch engine). The
+// returned responses alias the handle's receive scratch and are valid
+// only until the lock is released.
+func (c *Controller) transactLocked(h *swHandle, req *core.Message, wantResp bool) (xfer, error) {
+	x, err := c.transactOnceLocked(h, req, wantResp)
 	if err != nil {
 		var ae *AlertError
 		if errors.As(err, &ae) && ae.Reason == core.AlertReplay {
@@ -344,16 +353,14 @@ func (c *Controller) transact(h *swHandle, req *core.Message, wantResp bool) (*x
 	return x, err
 }
 
-func (c *Controller) transactOnce(h *swHandle, req *core.Message, wantResp bool) (*xfer, error) {
+func (c *Controller) transactOnceLocked(h *swHandle, req *core.Message, wantResp bool) (xfer, error) {
+	var x xfer
 	if c.resilient() && c.quarantined(h.name) {
-		return &xfer{}, fmt.Errorf("%w: %s", ErrQuarantined, h.name)
+		return x, fmt.Errorf("%w: %s", ErrQuarantined, h.name)
 	}
-	data, err := req.Encode()
-	if err != nil {
-		return &xfer{}, err
-	}
+	h.encBuf = req.AppendEncode(h.encBuf[:0])
+	data := h.encBuf
 	pol := c.retryPolicy()
-	x := &xfer{}
 	var lastErr error
 	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
 		if wait := pol.backoff(attempt); wait > 0 {
@@ -366,7 +373,7 @@ func (c *Controller) transactOnce(h *swHandle, req *core.Message, wantResp bool)
 			}
 		}
 		final := attempt == pol.MaxAttempts
-		resp, lat, sent, rcvd, err := c.exchangeBytes(h, data)
+		resp, lat, sent, rcvd, err := c.exchangeBytesLocked(h, data)
 		x.lat += lat
 		x.sends++
 		x.sentBytes += sent
@@ -471,10 +478,12 @@ func (c *Controller) vetResponses(h *swHandle, req *core.Message, resp []*core.M
 	return false, nil
 }
 
-// exchangeBytes puts encoded request bytes on the control channel through
-// the fault taps and returns parsed PacketIns. It is one attempt: no
-// retries, no verification.
-func (c *Controller) exchangeBytes(h *swHandle, data []byte) (out []*core.Message, lat time.Duration, sentBytes, rcvdBytes int, err error) {
+// exchangeBytesLocked puts encoded request bytes on the control channel
+// through the fault taps and returns parsed PacketIns. It is one attempt:
+// no retries, no verification. Requires h.opMu: the switch I/O result and
+// the decoded responses live in the handle's reusable scratch and are
+// overwritten by the next exchange on this handle.
+func (c *Controller) exchangeBytesLocked(h *swHandle, data []byte) (out []*core.Message, lat time.Duration, sentBytes, rcvdBytes int, err error) {
 	c.mu.Lock()
 	if c.dead {
 		c.mu.Unlock()
@@ -497,13 +506,14 @@ func (c *Controller) exchangeBytes(h *swHandle, data []byte) (out []*core.Messag
 		// only silence, exactly as with a lost response.
 		return nil, h.linkLat, sentBytes, 0, nil
 	}
-	res, err := h.host.PacketOut(wire)
-	if err != nil {
+	if err := h.host.PacketOutInto(wire, &h.io); err != nil {
 		return nil, 0, sentBytes, 0, err
 	}
-	lat = h.linkLat + res.Cost
+	lat = h.linkLat + h.io.Cost
 	responded := false
-	for _, pin := range res.PacketIns {
+	h.rx = h.rx[:0]
+	nbuf := 0
+	for _, pin := range h.io.PacketIns {
 		if inTap != nil {
 			pin = inTap(pin)
 		}
@@ -516,19 +526,23 @@ func (c *Controller) exchangeBytes(h *swHandle, data []byte) (out []*core.Messag
 		c.stats.BytesRecvd += len(pin)
 		c.mu.Unlock()
 		rcvdBytes += len(pin)
-		r, derr := core.DecodeMessage(pin)
-		if derr != nil {
-			return out, lat, sentBytes, rcvdBytes, fmt.Errorf("%w: %s: %v", errDecode, h.name, derr)
+		if nbuf == len(h.rxBufs) {
+			h.rxBufs = append(h.rxBufs, &core.MessageBuf{})
 		}
-		out = append(out, r)
+		r, derr := h.rxBufs[nbuf].Decode(pin)
+		if derr != nil {
+			return h.rx, lat, sentBytes, rcvdBytes, fmt.Errorf("%w: %s: %v", errDecode, h.name, derr)
+		}
+		nbuf++
+		h.rx = append(h.rx, r)
 	}
 	if responded {
 		lat += h.linkLat
 	}
-	relayLat, err := c.relay(h, res.NetOut)
+	relayLat, err := c.relay(h, h.io.NetOut)
 	if err != nil {
 		return nil, lat, sentBytes, rcvdBytes, err
 	}
 	lat += relayLat
-	return out, lat, sentBytes, rcvdBytes, nil
+	return h.rx, lat, sentBytes, rcvdBytes, nil
 }

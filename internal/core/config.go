@@ -72,9 +72,9 @@ func DefaultConfig(ports int, kind DigestKind) Config {
 func (c Config) Digester() (crypto.Digester, error) {
 	switch c.Digest {
 	case DigestHalfSipHash:
-		return crypto.NewHalfSipHashDigester(), nil
+		return crypto.SharedHalfSipHashDigester(), nil
 	case DigestCRC32:
-		return crypto.NewCRC32Digester(), nil
+		return crypto.SharedCRC32Digester(), nil
 	default:
 		return nil, fmt.Errorf("core: unknown digest kind %d", int(c.Digest))
 	}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is active. Alloc-count
+// guards are skipped under -race: instrumentation changes sync.Pool
+// behavior and allocation counts.
+const raceEnabled = false

@@ -23,7 +23,9 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"p4auth/internal/crypto"
 	"p4auth/internal/pisa"
@@ -190,79 +192,114 @@ var (
 	kxDef    = KxPayloadHeader()
 )
 
-// Encode serializes ptype + pa_h + payload.
-func (m *Message) Encode() ([]byte, error) {
-	out, err := pisa.PackHeader(ptypeDef, []uint64{PTypeP4Auth})
-	if err != nil {
-		return nil, err
-	}
-	h, err := pisa.PackHeader(authDef, []uint64{
-		uint64(m.HdrType), uint64(m.MsgType), uint64(m.SeqNum), uint64(m.KeyVersion), uint64(m.Digest),
-	})
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, h...)
+// Wire sizes. Every field in the P4Auth headers is byte-aligned, so the
+// hot-path codec writes bytes directly instead of going through the
+// bit-packing pisa.PackHeader/UnpackHeader (which allocate per call). The
+// generated-program header definitions above stay the source of truth;
+// TestWireCodecEquivalence pins the direct codec to the packed one.
+const (
+	authWireBytes = 11 // hdrType(1) msgType(1) seqNum(4) keyVersion(1) digest(4)
+	regWireBytes  = 16 // regid(4) index(4) value(8)
+	kxWireBytes   = 15 // port(2) pk(8) salt(4) phase(1)
+)
+
+// AppendEncode serializes ptype + pa_h + payload into dst and returns the
+// extended slice. It never allocates beyond growing dst.
+func (m *Message) AppendEncode(dst []byte) []byte {
+	dst = append(dst, PTypeP4Auth, m.HdrType, m.MsgType)
+	dst = binary.BigEndian.AppendUint32(dst, m.SeqNum)
+	dst = append(dst, m.KeyVersion)
+	dst = binary.BigEndian.AppendUint32(dst, m.Digest)
 	switch {
 	case m.Reg != nil:
-		p, err := pisa.PackHeader(regDef, []uint64{uint64(m.Reg.RegID), uint64(m.Reg.Index), m.Reg.Value})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p...)
+		dst = binary.BigEndian.AppendUint32(dst, m.Reg.RegID)
+		dst = binary.BigEndian.AppendUint32(dst, m.Reg.Index)
+		dst = binary.BigEndian.AppendUint64(dst, m.Reg.Value)
 	case m.Kx != nil:
-		p, err := pisa.PackHeader(kxDef, []uint64{uint64(m.Kx.Port), m.Kx.PK, uint64(m.Kx.Salt), uint64(m.Kx.Phase)})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p...)
+		dst = binary.BigEndian.AppendUint16(dst, m.Kx.Port)
+		dst = binary.BigEndian.AppendUint64(dst, m.Kx.PK)
+		dst = binary.BigEndian.AppendUint32(dst, m.Kx.Salt)
+		dst = append(dst, m.Kx.Phase)
 	case m.Aux != nil:
-		out = append(out, m.Aux...)
+		dst = append(dst, m.Aux...)
 	}
-	return out, nil
+	return dst
 }
 
-// DecodeMessage parses a P4Auth message from the wire.
-func DecodeMessage(data []byte) (*Message, error) {
-	pt, err := pisa.UnpackHeader(ptypeDef, data)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+// Encode serializes ptype + pa_h + payload.
+func (m *Message) Encode() ([]byte, error) {
+	return m.AppendEncode(nil), nil
+}
+
+// decodeInto parses data into m, using reg/kx as payload storage so a
+// caller that owns them can decode without allocating. On return exactly
+// one of m.Reg/m.Kx/m.Aux is populated (matching HdrType).
+func decodeInto(m *Message, reg *RegPayload, kx *KxPayload, data []byte) error {
+	if len(data) < 1+authWireBytes {
+		return fmt.Errorf("core: message truncated: %d bytes", len(data))
 	}
-	if pt[0] != PTypeP4Auth {
-		return nil, fmt.Errorf("core: ptype %#x is not a P4Auth message", pt[0])
+	if data[0] != PTypeP4Auth {
+		return fmt.Errorf("core: ptype %#x is not a P4Auth message", data[0])
 	}
-	data = data[ptypeDef.Bytes():]
-	hv, err := pisa.UnpackHeader(authDef, data)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	data = data[authDef.Bytes():]
-	m := &Message{Header: Header{
-		HdrType:    uint8(hv[0]),
-		MsgType:    uint8(hv[1]),
-		SeqNum:     uint32(hv[2]),
-		KeyVersion: uint8(hv[3]),
-		Digest:     uint32(hv[4]),
-	}}
+	b := data[1:]
+	m.HdrType = b[0]
+	m.MsgType = b[1]
+	m.SeqNum = binary.BigEndian.Uint32(b[2:6])
+	m.KeyVersion = b[6]
+	m.Digest = binary.BigEndian.Uint32(b[7:11])
+	body := b[authWireBytes:]
+	m.Reg, m.Kx, m.Aux = nil, nil, m.Aux[:0]
 	switch m.HdrType {
 	case HdrRegister, HdrAlert:
-		rv, err := pisa.UnpackHeader(regDef, data)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
+		if len(body) < regWireBytes {
+			return fmt.Errorf("core: pa_reg truncated: %d bytes", len(body))
 		}
-		m.Reg = &RegPayload{RegID: uint32(rv[0]), Index: uint32(rv[1]), Value: rv[2]}
+		reg.RegID = binary.BigEndian.Uint32(body[0:4])
+		reg.Index = binary.BigEndian.Uint32(body[4:8])
+		reg.Value = binary.BigEndian.Uint64(body[8:16])
+		m.Reg = reg
 	case HdrKeyExch:
-		kv, err := pisa.UnpackHeader(kxDef, data)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
+		if len(body) < kxWireBytes {
+			return fmt.Errorf("core: pa_kx truncated: %d bytes", len(body))
 		}
-		m.Kx = &KxPayload{Port: uint16(kv[0]), PK: kv[1], Salt: uint32(kv[2]), Phase: uint8(kv[3])}
+		kx.Port = binary.BigEndian.Uint16(body[0:2])
+		kx.PK = binary.BigEndian.Uint64(body[2:10])
+		kx.Salt = binary.BigEndian.Uint32(body[10:14])
+		kx.Phase = body[14]
+		m.Kx = kx
 	case HdrFeedback:
-		m.Aux = append([]byte(nil), data...)
+		m.Aux = append(m.Aux, body...)
 	default:
-		return nil, fmt.Errorf("core: unknown hdrType %d", m.HdrType)
+		return fmt.Errorf("core: unknown hdrType %d", m.HdrType)
+	}
+	return nil
+}
+
+// DecodeMessage parses a P4Auth message from the wire into fresh storage.
+func DecodeMessage(data []byte) (*Message, error) {
+	m := &Message{}
+	if err := decodeInto(m, &RegPayload{}, &KxPayload{}, data); err != nil {
+		return nil, err
 	}
 	return m, nil
+}
+
+// MessageBuf is a reusable decode target: Decode parses into storage owned
+// by the buffer, so steady-state decoding does not allocate. The returned
+// *Message (and its payload) is valid until the next Decode on the same
+// buffer; callers that retain a message across decodes must copy it.
+type MessageBuf struct {
+	msg Message
+	reg RegPayload
+	kx  KxPayload
+}
+
+// Decode parses data into the buffer's storage.
+func (b *MessageBuf) Decode(data []byte) (*Message, error) {
+	if err := decodeInto(&b.msg, &b.reg, &b.kx, data); err != nil {
+		return nil, err
+	}
+	return &b.msg, nil
 }
 
 // digestHdrDef packs the digest-covered header fields (digest excluded).
@@ -280,48 +317,56 @@ var (
 	digestKxDef  = &pisa.HeaderDef{Name: "dig_kx", Fields: kxDef.Fields[:3]}
 )
 
-// DigestInput returns the exact bytes the digest is computed over.
-func (m *Message) DigestInput() ([]byte, error) {
-	out, err := pisa.PackHeader(digestHdrDef, []uint64{
-		uint64(m.HdrType), uint64(m.MsgType), uint64(m.SeqNum), uint64(m.KeyVersion),
-	})
-	if err != nil {
-		return nil, err
-	}
+// AppendDigestInput appends the exact bytes the digest is computed over
+// (header fields with the digest excluded, then the payload fields with
+// the kx phase excluded) and returns the extended slice.
+func (m *Message) AppendDigestInput(dst []byte) []byte {
+	dst = append(dst, m.HdrType, m.MsgType)
+	dst = binary.BigEndian.AppendUint32(dst, m.SeqNum)
+	dst = append(dst, m.KeyVersion)
 	switch {
 	case m.Reg != nil:
-		p, err := pisa.PackHeader(digestRegDef, []uint64{uint64(m.Reg.RegID), uint64(m.Reg.Index), m.Reg.Value})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p...)
+		dst = binary.BigEndian.AppendUint32(dst, m.Reg.RegID)
+		dst = binary.BigEndian.AppendUint32(dst, m.Reg.Index)
+		dst = binary.BigEndian.AppendUint64(dst, m.Reg.Value)
 	case m.Kx != nil:
-		p, err := pisa.PackHeader(digestKxDef, []uint64{uint64(m.Kx.Port), m.Kx.PK, uint64(m.Kx.Salt)})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p...)
+		dst = binary.BigEndian.AppendUint16(dst, m.Kx.Port)
+		dst = binary.BigEndian.AppendUint64(dst, m.Kx.PK)
+		dst = binary.BigEndian.AppendUint32(dst, m.Kx.Salt)
 	case m.Aux != nil:
-		out = append(out, m.Aux...)
+		dst = append(dst, m.Aux...)
 	}
-	return out, nil
+	return dst
 }
+
+// DigestInput returns the exact bytes the digest is computed over.
+func (m *Message) DigestInput() ([]byte, error) {
+	return m.AppendDigestInput(nil), nil
+}
+
+// digestScratch pools the sign/verify input buffer so the hot path does
+// not allocate per message.
+var digestScratch = sync.Pool{New: func() any {
+	b := make([]byte, 0, 128)
+	return &b
+}}
 
 // Sign computes and sets the digest under key.
 func (m *Message) Sign(d crypto.PRF32, key uint64) error {
-	in, err := m.DigestInput()
-	if err != nil {
-		return err
-	}
+	bp := digestScratch.Get().(*[]byte)
+	in := m.AppendDigestInput((*bp)[:0])
 	m.Digest = d.Sum32(key, in)
+	*bp = in[:0]
+	digestScratch.Put(bp)
 	return nil
 }
 
 // Verify recomputes the digest under key and compares in constant time.
 func (m *Message) Verify(d crypto.PRF32, key uint64) bool {
-	in, err := m.DigestInput()
-	if err != nil {
-		return false
-	}
-	return crypto.Verify(d, key, in, m.Digest)
+	bp := digestScratch.Get().(*[]byte)
+	in := m.AppendDigestInput((*bp)[:0])
+	ok := crypto.Verify(d, key, in, m.Digest)
+	*bp = in[:0]
+	digestScratch.Put(bp)
+	return ok
 }

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"p4auth/internal/crypto"
+)
+
+// Alloc-regression budgets for the authenticated hot path. These are hard
+// gates: the pipelined transport depends on sign/verify/marshal/decode
+// staying allocation-free in steady state.
+func TestHotPathAllocBudgets(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are not stable under -race")
+	}
+	d := crypto.SharedHalfSipHashDigester()
+	key := uint64(0x0123456789abcdef)
+	m := &Message{
+		Header: Header{HdrType: HdrRegister, MsgType: MsgWriteReq, SeqNum: 1, KeyVersion: 1},
+		Reg:    &RegPayload{RegID: 7, Index: 3, Value: 99},
+	}
+	wire := make([]byte, 0, 64)
+	var buf MessageBuf
+
+	// Warm the pool and the decode storage before measuring.
+	for i := 0; i < 8; i++ {
+		if err := m.Sign(d, key); err != nil {
+			t.Fatal(err)
+		}
+		m.Verify(d, key)
+		wire = m.AppendEncode(wire[:0])
+		if _, err := buf.Decode(wire); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cases := []struct {
+		name   string
+		budget float64
+		fn     func()
+	}{
+		{"Message.Sign", 0, func() {
+			m.SeqNum++
+			if err := m.Sign(d, key); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"Message.Verify", 0, func() {
+			if !m.Verify(d, key) {
+				t.Fatal("verify failed")
+			}
+		}},
+		{"AppendEncode", 0, func() {
+			wire = m.AppendEncode(wire[:0])
+		}},
+		{"MessageBuf.Decode", 0, func() {
+			if _, err := buf.Decode(wire); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, c := range cases {
+		got := testing.AllocsPerRun(200, c.fn)
+		if got > c.budget {
+			t.Errorf("%s: %.1f allocs/op, budget %.0f", c.name, got, c.budget)
+		}
+	}
+}

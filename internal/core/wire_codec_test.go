@@ -1,0 +1,200 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"p4auth/internal/crypto"
+	"p4auth/internal/pisa"
+)
+
+// packedEncode is the original bit-packing encoder, kept in the tests as
+// the reference the direct byte codec must match.
+func packedEncode(t *testing.T, m *Message) []byte {
+	t.Helper()
+	out, err := pisa.PackHeader(ptypeDef, []uint64{PTypeP4Auth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := pisa.PackHeader(authDef, []uint64{
+		uint64(m.HdrType), uint64(m.MsgType), uint64(m.SeqNum), uint64(m.KeyVersion), uint64(m.Digest),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, h...)
+	switch {
+	case m.Reg != nil:
+		p, err := pisa.PackHeader(regDef, []uint64{uint64(m.Reg.RegID), uint64(m.Reg.Index), m.Reg.Value})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p...)
+	case m.Kx != nil:
+		p, err := pisa.PackHeader(kxDef, []uint64{uint64(m.Kx.Port), m.Kx.PK, uint64(m.Kx.Salt), uint64(m.Kx.Phase)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p...)
+	case m.Aux != nil:
+		out = append(out, m.Aux...)
+	}
+	return out
+}
+
+func packedDigestInput(t *testing.T, m *Message) []byte {
+	t.Helper()
+	out, err := pisa.PackHeader(digestHdrDef, []uint64{
+		uint64(m.HdrType), uint64(m.MsgType), uint64(m.SeqNum), uint64(m.KeyVersion),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch {
+	case m.Reg != nil:
+		p, err := pisa.PackHeader(digestRegDef, []uint64{uint64(m.Reg.RegID), uint64(m.Reg.Index), m.Reg.Value})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p...)
+	case m.Kx != nil:
+		p, err := pisa.PackHeader(digestKxDef, []uint64{uint64(m.Kx.Port), m.Kx.PK, uint64(m.Kx.Salt)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p...)
+	case m.Aux != nil:
+		out = append(out, m.Aux...)
+	}
+	return out
+}
+
+func codecSamples() []*Message {
+	return []*Message{
+		{
+			Header: Header{HdrType: HdrRegister, MsgType: MsgWriteReq, SeqNum: 0xdeadbeef, KeyVersion: 7, Digest: 0x01020304},
+			Reg:    &RegPayload{RegID: 0xa1b2c3d4, Index: 0xffffffff, Value: 0x1122334455667788},
+		},
+		{
+			Header: Header{HdrType: HdrAlert, MsgType: AlertReplay, SeqNum: 1, KeyVersion: 0, Digest: 0},
+			Reg:    &RegPayload{RegID: 3, Index: 0, Value: 42},
+		},
+		{
+			Header: Header{HdrType: HdrKeyExch, MsgType: MsgADHKD1, SeqNum: 0x7fffffff, KeyVersion: 255, Digest: 0xffffffff},
+			Kx:     &KxPayload{Port: 0xbeef, PK: 0x8877665544332211, Salt: 0x0badf00d, Phase: PhaseInstall},
+		},
+		{
+			Header: Header{HdrType: HdrFeedback, MsgType: MsgProbe, SeqNum: 9, KeyVersion: 2, Digest: 5},
+			Aux:    []byte{0x10, 0x20, 0x30, 0x40, 0x55},
+		},
+	}
+}
+
+// TestWireCodecEquivalence pins the direct byte codec to the bit-packing
+// reference: identical wire bytes and digest input for every message shape.
+func TestWireCodecEquivalence(t *testing.T) {
+	for i, m := range codecSamples() {
+		got := m.AppendEncode(nil)
+		want := packedEncode(t, m)
+		if !bytes.Equal(got, want) {
+			t.Errorf("sample %d: AppendEncode=%x want %x", i, got, want)
+		}
+		gotD := m.AppendDigestInput(nil)
+		wantD := packedDigestInput(t, m)
+		if !bytes.Equal(gotD, wantD) {
+			t.Errorf("sample %d: AppendDigestInput=%x want %x", i, gotD, wantD)
+		}
+		// Appending into a non-empty prefix must not disturb the prefix.
+		pre := []byte{0xee, 0xff}
+		ext := m.AppendEncode(pre)
+		if !bytes.Equal(ext[:2], pre[:2]) || !bytes.Equal(ext[2:], want) {
+			t.Errorf("sample %d: AppendEncode with prefix mismatched", i)
+		}
+	}
+}
+
+func TestMessageBufDecodeRoundTrip(t *testing.T) {
+	var buf MessageBuf
+	for i, m := range codecSamples() {
+		wire := m.AppendEncode(nil)
+		got, err := buf.Decode(wire)
+		if err != nil {
+			t.Fatalf("sample %d: decode: %v", i, err)
+		}
+		if got.Header != m.Header {
+			t.Errorf("sample %d: header %+v want %+v", i, got.Header, m.Header)
+		}
+		switch {
+		case m.Reg != nil:
+			if got.Reg == nil || *got.Reg != *m.Reg {
+				t.Errorf("sample %d: reg %+v want %+v", i, got.Reg, m.Reg)
+			}
+			if got.Kx != nil {
+				t.Errorf("sample %d: stale kx payload after reuse", i)
+			}
+		case m.Kx != nil:
+			if got.Kx == nil || *got.Kx != *m.Kx {
+				t.Errorf("sample %d: kx %+v want %+v", i, got.Kx, m.Kx)
+			}
+			if got.Reg != nil {
+				t.Errorf("sample %d: stale reg payload after reuse", i)
+			}
+		case m.Aux != nil:
+			if !bytes.Equal(got.Aux, m.Aux) {
+				t.Errorf("sample %d: aux %x want %x", i, got.Aux, m.Aux)
+			}
+		}
+		// MessageBuf must match the allocating decoder exactly.
+		ref, err := DecodeMessage(wire)
+		if err != nil {
+			t.Fatalf("sample %d: DecodeMessage: %v", i, err)
+		}
+		if ref.Header != got.Header {
+			t.Errorf("sample %d: DecodeMessage header diverges", i)
+		}
+	}
+}
+
+func TestDecodeTruncatedAndBadType(t *testing.T) {
+	m := codecSamples()[0]
+	wire := m.AppendEncode(nil)
+	for cut := 0; cut < len(wire); cut++ {
+		if _, err := DecodeMessage(wire[:cut]); err == nil {
+			t.Errorf("decode of %d/%d bytes succeeded", cut, len(wire))
+		}
+	}
+	bad := append([]byte(nil), wire...)
+	bad[0] = 0x42
+	if _, err := DecodeMessage(bad); err == nil {
+		t.Error("decode of non-P4Auth ptype succeeded")
+	}
+	bad = append([]byte(nil), wire...)
+	bad[1] = 99 // unknown hdrType
+	if _, err := DecodeMessage(bad); err == nil {
+		t.Error("decode of unknown hdrType succeeded")
+	}
+}
+
+// TestSignVerifyScratchIsolation checks the pooled digest scratch cannot
+// leak state between messages: sign two different messages alternately and
+// verify both still check out.
+func TestSignVerifyScratchIsolation(t *testing.T) {
+	d := crypto.SharedHalfSipHashDigester()
+	key := uint64(0x1234567890abcdef)
+	a := codecSamples()[0]
+	b := codecSamples()[2]
+	for i := 0; i < 4; i++ {
+		if err := a.Sign(d, key); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Sign(d, key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !a.Verify(d, key) || !b.Verify(d, key) {
+		t.Fatal("sign/verify round trip failed with pooled scratch")
+	}
+	if a.Verify(d, key+1) {
+		t.Fatal("verify accepted wrong key")
+	}
+}

@@ -1,7 +1,6 @@
 package crypto
 
 import (
-	"encoding/binary"
 	"hash/crc32"
 )
 
@@ -19,23 +18,37 @@ type KeyedCRC32 struct {
 }
 
 // NewKeyedCRC32 returns a keyed CRC32 PRF over the IEEE polynomial, the
-// polynomial Tofino's hash units expose by default.
+// polynomial Tofino's hash units expose by default. The lookup table is
+// the process-wide singleton (see tables.go).
 func NewKeyedCRC32() KeyedCRC32 {
-	return KeyedCRC32{table: crc32.MakeTable(crc32.IEEE)}
+	return KeyedCRC32{table: IEEETable()}
 }
 
 // NewKeyedCRC32Castagnoli returns the PRF over the Castagnoli polynomial,
 // the common alternate polynomial on Tofino hash units.
 func NewKeyedCRC32Castagnoli() KeyedCRC32 {
-	return KeyedCRC32{table: crc32.MakeTable(crc32.Castagnoli)}
+	return KeyedCRC32{table: CastagnoliTable()}
 }
 
 // Sum32 computes CRC32(key_le || data || key_le) under the configured
-// polynomial.
+// polynomial. The key envelope is folded in with a direct table loop
+// rather than crc32.Update: Update dispatches through an internal
+// function pointer, which forces a key buffer passed to it onto the heap
+// — four such allocations per authenticated exchange.
 func (k KeyedCRC32) Sum32(key uint64, data []byte) uint32 {
-	var kb [8]byte
-	binary.LittleEndian.PutUint64(kb[:], key)
-	c := crc32.Update(0, k.table, kb[:])
+	c := k.updateKey(0, key)
 	c = crc32.Update(c, k.table, data)
-	return crc32.Update(c, k.table, kb[:])
+	return k.updateKey(c, key)
+}
+
+// updateKey advances crc over the key's 8 little-endian bytes, matching
+// crc32.Update's result byte for byte.
+func (k KeyedCRC32) updateKey(crc uint32, key uint64) uint32 {
+	tab := k.table
+	crc = ^crc
+	for i := 0; i < 8; i++ {
+		crc = tab[byte(crc)^byte(key)] ^ (crc >> 8)
+		key >>= 8
+	}
+	return ^crc
 }

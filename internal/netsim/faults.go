@@ -75,6 +75,50 @@ func CorruptTap(n int, seed uint64) Tap {
 	return t
 }
 
+// NewReorderTap returns a tap that reorders the packet stream with a
+// deterministic three-slot pattern: packet 3k+1 is held (a copy) and
+// dropped from its slot, packet 3k+2 passes through, and packet 3k+3 is
+// replaced by the held packet. Against a pipelined sender this delivers
+// later window members before earlier ones — the receiver's replay floor
+// overtakes the held packet's sequence number, so its eventual delivery
+// (or retransmission) draws a replay rejection and forces a re-sign with
+// a fresh number. That is precisely the out-of-order hazard the windowed
+// transport must absorb, produced without any randomness.
+func NewReorderTap(period int) (Tap, error) {
+	if period < 3 {
+		return nil, fmt.Errorf("netsim: reorder period %d must be >= 3", period)
+	}
+	count := 0
+	var held []byte
+	return func(data []byte) []byte {
+		count++
+		switch count % period {
+		case 1:
+			held = append(held[:0], data...)
+			return nil // held back: its slot goes empty
+		case 0:
+			if held == nil {
+				return data
+			}
+			out := held
+			held = nil
+			return out // delivered late, after its successors
+		default:
+			return data
+		}
+	}, nil
+}
+
+// ReorderTap is NewReorderTap with the minimum period of 3 (reorder every
+// triple); it panics on an invalid period instead of returning an error.
+func ReorderTap() Tap {
+	t, err := NewReorderTap(3)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
 // ChainTaps composes taps left to right; a nil result short-circuits.
 func ChainTaps(taps ...Tap) Tap {
 	return func(data []byte) []byte {

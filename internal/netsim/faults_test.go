@@ -1,0 +1,54 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReorderTapPattern checks the deterministic three-slot reorder: the
+// first packet of each triple is held and delivered in the third slot
+// (displacing that slot's packet), the second passes straight through.
+func TestReorderTapPattern(t *testing.T) {
+	tap := ReorderTap()
+	send := func(b byte) []byte { return tap([]byte{b}) }
+
+	if got := send(1); got != nil {
+		t.Fatalf("packet 1 must be held, got %v", got)
+	}
+	if got := send(2); !bytes.Equal(got, []byte{2}) {
+		t.Fatalf("packet 2 must pass, got %v", got)
+	}
+	if got := send(3); !bytes.Equal(got, []byte{1}) {
+		t.Fatalf("packet 3's slot must deliver held packet 1, got %v", got)
+	}
+	// Second triple behaves identically.
+	if got := send(4); got != nil {
+		t.Fatalf("packet 4 must be held, got %v", got)
+	}
+	if got := send(5); !bytes.Equal(got, []byte{5}) {
+		t.Fatalf("packet 5 must pass, got %v", got)
+	}
+	if got := send(6); !bytes.Equal(got, []byte{4}) {
+		t.Fatalf("packet 6's slot must deliver held packet 4, got %v", got)
+	}
+}
+
+// TestReorderTapCopiesHeldPacket ensures the held packet is a copy: a
+// sender reusing its buffer between sends must not corrupt the delayed
+// delivery.
+func TestReorderTapCopiesHeldPacket(t *testing.T) {
+	tap := ReorderTap()
+	buf := []byte{0xAA}
+	tap(buf)
+	buf[0] = 0xFF // sender reuses its buffer
+	tap([]byte{2})
+	if got := tap([]byte{3}); !bytes.Equal(got, []byte{0xAA}) {
+		t.Fatalf("held packet mutated: got %v, want [0xAA]", got)
+	}
+}
+
+func TestNewReorderTapRejectsBadPeriod(t *testing.T) {
+	if _, err := NewReorderTap(2); err == nil {
+		t.Fatal("period 2 accepted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"p4auth/internal/crypto"
@@ -20,44 +21,66 @@ type Emission struct {
 }
 
 // Result summarizes processing of one packet.
+//
+// A Result passed to ProcessInto is reusable: emission buffers are
+// recycled across calls, so Emission.Data is valid only until the next
+// ProcessInto on the same Result. Results returned by Process own their
+// buffers.
 type Result struct {
 	Emissions []Emission
 	Passes    int
 	// Cost is the modeled data-plane latency for this packet.
 	Cost time.Duration
+
+	// bufs is the per-emission buffer arena recycled across ProcessInto
+	// calls on the same Result.
+	bufs [][]byte
 }
 
 // Switch is a running data plane: a compiled program plus runtime state
 // (table entries, register values, multicast groups). All methods are safe
-// for concurrent use; packets are processed one at a time, as on a single
-// pipe.
+// for concurrent use. State is sharded so concurrent Process calls
+// overlap: table/multicast mutations take a write lock that packet
+// processing reads, register banks have per-register locks (register
+// read-modify-writes — the replay-floor RMWMax — stay atomic), and
+// counters/clock/RNG are guarded independently.
 type Switch struct {
-	mu       sync.Mutex
 	compiled *Compiled
-	rng      crypto.RandomSource
 
-	tables   []*tableState
-	regs     [][]uint64
-	mcast    map[uint64][]int
+	// stateMu guards tables and mcast: Process holds the read side, the
+	// driver mutation API the write side.
+	stateMu sync.RWMutex
+	tables  []*tableState
+	mcast   map[uint64][]int
+
+	// regMu[i] guards regs[i]; RMW sequences hold the lock across
+	// read-modify-write so data-plane atomics keep their semantics.
+	regMu []sync.Mutex
+	regs  [][]uint64
+
+	countMu  sync.Mutex
 	counters map[string]uint64
+
+	rngMu sync.Mutex
+	rng   crypto.RandomSource
 
 	crcIEEE   *crc32.Table
 	crcCast   *crc32.Table
 	keyedIEEE crypto.KeyedCRC32
 	keyedCast crypto.KeyedCRC32
 	halfsip   crypto.HalfSipHash
-	scratch   []byte
-	now       uint64
+
+	now atomic.Uint64
+
+	// execPool recycles per-packet execution state (PHV, header validity,
+	// hash/table scratch) so steady-state Process does not allocate.
+	execPool sync.Pool
 }
 
 // SetNow sets the ingress timestamp (nanoseconds) stamped into
 // MetaTimestamp for subsequent packets. Simulation adapters call this with
 // the virtual clock before each Process.
-func (s *Switch) SetNow(ns uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.now = ns
-}
+func (s *Switch) SetNow(ns uint64) { s.now.Store(ns) }
 
 // Option configures a Switch.
 type Option func(*Switch)
@@ -85,8 +108,8 @@ func NewSwitchFromCompiled(compiled *Compiled, opts ...Option) *Switch {
 		rng:       crypto.NewSeededRand(0x9a4aadd),
 		mcast:     make(map[uint64][]int),
 		counters:  make(map[string]uint64),
-		crcIEEE:   crc32.MakeTable(crc32.IEEE),
-		crcCast:   crc32.MakeTable(crc32.Castagnoli),
+		crcIEEE:   crypto.IEEETable(),
+		crcCast:   crypto.CastagnoliTable(),
 		keyedIEEE: crypto.NewKeyedCRC32(),
 		keyedCast: crypto.NewKeyedCRC32Castagnoli(),
 		halfsip:   crypto.NewHalfSipHash24(),
@@ -96,6 +119,13 @@ func NewSwitchFromCompiled(compiled *Compiled, opts ...Option) *Switch {
 	}
 	for _, r := range compiled.Program.Registers {
 		s.regs = append(s.regs, make([]uint64, r.Entries))
+	}
+	s.regMu = make([]sync.Mutex, len(s.regs))
+	s.execPool.New = func() any {
+		return &execState{
+			phv:   make([]uint64, len(compiled.slotWidth)),
+			valid: make([]bool, len(compiled.Program.Headers)),
+		}
 	}
 	for _, o := range opts {
 		o(s)
@@ -110,8 +140,8 @@ func (s *Switch) Compiled() *Compiled { return s.compiled }
 
 // InsertEntry installs a table entry.
 func (s *Switch) InsertEntry(table string, e Entry) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	ti, ok := s.compiled.tableIndex[table]
 	if !ok {
 		return fmt.Errorf("pisa: unknown table %q", table)
@@ -121,8 +151,8 @@ func (s *Switch) InsertEntry(table string, e Entry) error {
 
 // DeleteEntry removes the entry with the exact key from a table.
 func (s *Switch) DeleteEntry(table string, key []KeyMatch) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	ti, ok := s.compiled.tableIndex[table]
 	if !ok {
 		return fmt.Errorf("pisa: unknown table %q", table)
@@ -132,8 +162,8 @@ func (s *Switch) DeleteEntry(table string, key []KeyMatch) error {
 
 // ClearTable removes all entries from a table.
 func (s *Switch) ClearTable(table string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	ti, ok := s.compiled.tableIndex[table]
 	if !ok {
 		return fmt.Errorf("pisa: unknown table %q", table)
@@ -144,8 +174,6 @@ func (s *Switch) ClearTable(table string) error {
 
 // RegisterRead reads a register entry directly (the driver path).
 func (s *Switch) RegisterRead(name string, index int) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	ri, ok := s.compiled.regIndex[name]
 	if !ok {
 		return 0, fmt.Errorf("pisa: unknown register %q", name)
@@ -153,13 +181,14 @@ func (s *Switch) RegisterRead(name string, index int) (uint64, error) {
 	if index < 0 || index >= len(s.regs[ri]) {
 		return 0, fmt.Errorf("pisa: register %s index %d out of range [0,%d)", name, index, len(s.regs[ri]))
 	}
-	return s.regs[ri][index], nil
+	s.regMu[ri].Lock()
+	v := s.regs[ri][index]
+	s.regMu[ri].Unlock()
+	return v, nil
 }
 
 // RegisterWrite writes a register entry directly (the driver path).
 func (s *Switch) RegisterWrite(name string, index int, v uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	ri, ok := s.compiled.regIndex[name]
 	if !ok {
 		return fmt.Errorf("pisa: unknown register %q", name)
@@ -168,25 +197,31 @@ func (s *Switch) RegisterWrite(name string, index int, v uint64) error {
 		return fmt.Errorf("pisa: register %s index %d out of range [0,%d)", name, index, len(s.regs[ri]))
 	}
 	def := s.compiled.Program.Registers[ri]
+	s.regMu[ri].Lock()
 	s.regs[ri][index] = v & mask(def.Width)
+	s.regMu[ri].Unlock()
 	return nil
 }
 
 // SetMulticastGroup configures the ports of a multicast group.
 func (s *Switch) SetMulticastGroup(group uint64, ports []int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	s.mcast[group] = append([]int(nil), ports...)
 }
 
 // Counter returns a named diagnostic counter.
 func (s *Switch) Counter(name string) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.countMu.Lock()
+	defer s.countMu.Unlock()
 	return s.counters[name]
 }
 
-func (s *Switch) bump(name string) { s.counters[name]++ }
+func (s *Switch) bump(name string) {
+	s.countMu.Lock()
+	s.counters[name]++
+	s.countMu.Unlock()
+}
 
 // --- packet processing ---
 
@@ -195,24 +230,63 @@ type execState struct {
 	valid   []bool
 	payload []byte
 	passes  int
+
+	// Reusable scratch, pooled with the state.
+	hashVals   []uint64
+	hashWidths []int
+	hashBuf    []byte
+	hashData   []byte
+	keyVals    []uint64
+	keyWidths  []int
+	keyBuf     []byte
+	dests      []int
 }
 
-// Process runs one packet through the pipeline and returns its emissions
-// and modeled cost.
-func (s *Switch) Process(pkt Packet) (Result, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	st := &execState{
-		phv:   make([]uint64, len(s.compiled.slotWidth)),
-		valid: make([]bool, len(s.compiled.Program.Headers)),
+func (s *Switch) getExec() *execState {
+	st := s.execPool.Get().(*execState)
+	for i := range st.phv {
+		st.phv[i] = 0
 	}
+	for i := range st.valid {
+		st.valid[i] = false
+	}
+	st.payload = st.payload[:0]
+	st.passes = 0
+	st.dests = st.dests[:0]
+	return st
+}
+
+func (s *Switch) putExec(st *execState) { s.execPool.Put(st) }
+
+// Process runs one packet through the pipeline and returns its emissions
+// and modeled cost. The returned Result owns its buffers.
+func (s *Switch) Process(pkt Packet) (Result, error) {
+	var res Result
+	err := s.ProcessInto(pkt, &res)
+	return res, err
+}
+
+// ProcessInto runs one packet through the pipeline, writing emissions and
+// cost into res. Emission buffers in res are recycled: they are valid only
+// until the next ProcessInto on the same Result. On error the contents of
+// res are undefined.
+func (s *Switch) ProcessInto(pkt Packet, res *Result) error {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+
+	st := s.getExec()
+	defer s.putExec(st)
+
+	res.Emissions = res.Emissions[:0]
+	res.Passes = 0
+	res.Cost = 0
+
 	if err := s.parse(st, pkt.Data); err != nil {
 		s.bump("parse_error")
-		return Result{}, err
+		return err
 	}
 	s.setMeta(st, MetaIngressPort, uint64(pkt.Port))
-	s.setMeta(st, MetaTimestamp, s.now)
+	s.setMeta(st, MetaTimestamp, s.now.Load())
 	s.setMeta(st, MetaPktLen, uint64(len(pkt.Data)))
 
 	maxPasses := s.compiled.Profile.MaxPasses
@@ -221,7 +295,7 @@ func (s *Switch) Process(pkt Packet) (Result, error) {
 		s.setMeta(st, MetaPass, uint64(pass))
 		s.setMeta(st, MetaRecirc, 0)
 		if err := s.runOps(st, s.compiled.Program.Control, nil); err != nil {
-			return Result{}, err
+			return err
 		}
 		if s.getMeta(st, MetaRecirc) == 0 {
 			break
@@ -234,17 +308,15 @@ func (s *Switch) Process(pkt Packet) (Result, error) {
 	}
 
 	stages := s.compiled.StagesPerPass() + s.compiled.Usage.EgressStages
-	res := Result{
-		Passes: st.passes,
-		Cost:   s.compiled.Profile.PacketCost(stages, st.passes, len(st.payload)),
-	}
+	res.Passes = st.passes
+	res.Cost = s.compiled.Profile.PacketCost(stages, st.passes, len(st.payload))
 	if s.getMeta(st, MetaDrop) != 0 {
 		s.bump("dropped")
-		return res, nil
+		return nil
 	}
 
 	// Replication: copy-to-CPU plus multicast group or unicast port.
-	var dests []int
+	dests := st.dests
 	if s.getMeta(st, MetaToCPU) != 0 {
 		dests = append(dests, CPUPort)
 	}
@@ -259,31 +331,51 @@ func (s *Switch) Process(pkt Packet) (Result, error) {
 			s.bump("no_egress")
 		}
 	}
+	st.dests = dests
 
 	// Egress pipeline per replica.
 	for _, port := range dests {
 		est := st
 		if len(dests) > 1 || len(s.compiled.Program.EgressControl) > 0 {
-			cp := &execState{
-				phv:     append([]uint64(nil), st.phv...),
-				valid:   append([]bool(nil), st.valid...),
-				payload: st.payload,
-			}
+			cp := s.getExec()
+			copy(cp.phv, st.phv)
+			copy(cp.valid, st.valid)
+			cp.payload = append(cp.payload[:0], st.payload...)
 			est = cp
 		}
 		s.setMeta(est, MetaEgressPort, uint64(port)&mask(16))
 		if len(s.compiled.Program.EgressControl) > 0 {
 			if err := s.runOps(est, s.compiled.Program.EgressControl, nil); err != nil {
-				return Result{}, fmt.Errorf("egress: %w", err)
+				if est != st {
+					s.putExec(est)
+				}
+				return fmt.Errorf("egress: %w", err)
 			}
 			if s.getMeta(est, MetaDrop) != 0 {
 				s.bump("egress_dropped")
+				if est != st {
+					s.putExec(est)
+				}
 				continue
 			}
 		}
-		res.Emissions = append(res.Emissions, Emission{Port: port, Data: s.deparse(est)})
+		idx := len(res.Emissions)
+		var buf []byte
+		if idx < len(res.bufs) {
+			buf = res.bufs[idx][:0]
+		}
+		buf = s.deparseInto(est, buf)
+		if idx < len(res.bufs) {
+			res.bufs[idx] = buf
+		} else {
+			res.bufs = append(res.bufs, buf)
+		}
+		res.Emissions = append(res.Emissions, Emission{Port: port, Data: buf})
+		if est != st {
+			s.putExec(est)
+		}
 	}
-	return res, nil
+	return nil
 }
 
 func (s *Switch) metaSlot(name string) int {
@@ -302,7 +394,7 @@ func (s *Switch) getMeta(st *execState, name string) uint64 {
 func (s *Switch) parse(st *execState, data []byte) error {
 	prog := s.compiled.Program
 	if len(prog.Parser) == 0 {
-		st.payload = append([]byte(nil), data...)
+		st.payload = append(st.payload[:0], data...)
 		return nil
 	}
 	rest := data
@@ -319,12 +411,12 @@ func (s *Switch) parse(st *execState, data []byte) error {
 		if state.Extract != "" {
 			hi := s.compiled.headerIndex[state.Extract]
 			def := prog.Headers[hi]
-			vals, err := UnpackHeader(def, rest)
-			if err != nil {
-				return err
+			if len(rest) < def.Bytes() {
+				return fmt.Errorf("pisa: header %s needs %d bytes, packet has %d", def.Name, def.Bytes(), len(rest))
 			}
+			off := 0
 			for fi, slot := range s.compiled.headerSlots[hi] {
-				st.phv[slot] = vals[fi]
+				st.phv[slot], off = unpackBits(rest, off, def.Fields[fi].Width)
 			}
 			st.valid[hi] = true
 			rest = rest[def.Bytes():]
@@ -341,29 +433,35 @@ func (s *Switch) parse(st *execState, data []byte) error {
 		}
 		stateName = next
 	}
-	st.payload = append([]byte(nil), rest...)
+	st.payload = append(st.payload[:0], rest...)
 	return nil
 }
 
-func (s *Switch) deparse(st *execState) []byte {
+// appendZeros extends b with n zero bytes (deparse packs bits by OR-ing,
+// so fresh bytes must be cleared).
+func appendZeros(b []byte, n int) []byte {
+	for i := 0; i < n; i++ {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// deparseInto serializes the valid headers and payload, appending into out.
+func (s *Switch) deparseInto(st *execState, out []byte) []byte {
 	prog := s.compiled.Program
-	var out []byte
 	for _, name := range prog.DeparseOrder {
 		hi := s.compiled.headerIndex[name]
 		if !st.valid[hi] {
 			continue
 		}
 		def := prog.Headers[hi]
-		vals := make([]uint64, len(def.Fields))
+		base := len(out)
+		out = appendZeros(out, def.Bytes())
+		off := 0
 		for fi, slot := range s.compiled.headerSlots[hi] {
-			vals[fi] = st.phv[slot]
+			w := def.Fields[fi].Width
+			off = packBits(out[base:], off, st.phv[slot]&mask(w), w)
 		}
-		b, err := PackHeader(def, vals)
-		if err != nil {
-			// Unreachable: values are width-masked and defs validated.
-			panic(fmt.Sprintf("pisa: deparse %s: %v", name, err))
-		}
-		out = append(out, b...)
 	}
 	return append(out, st.payload...)
 }
@@ -478,18 +576,31 @@ func (s *Switch) runOps(st *execState, ops []Op, actFrame *opContext) error {
 				if err != nil {
 					return err
 				}
-				st.phv[slot] = s.regs[ri][idx] & mask(w)
+				s.regMu[ri].Lock()
+				v := s.regs[ri][idx]
+				s.regMu[ri].Unlock()
+				st.phv[slot] = v & mask(w)
 			case OpRegWrite:
 				v, err := s.evalOperandIn(st, op.A, act, frame)
 				if err != nil {
 					return err
 				}
+				s.regMu[ri].Lock()
 				s.regs[ri][idx] = v & mask(def.Width)
+				s.regMu[ri].Unlock()
 			case OpRegRMW:
 				a, err := s.evalOperandIn(st, op.A, act, frame)
 				if err != nil {
 					return err
 				}
+				slot, _, w, err := s.compiled.lookupRef(op.Dst, act)
+				if err != nil {
+					return err
+				}
+				// Hold the bank lock across the read-modify-write: the
+				// data plane's stateful ALU is atomic per packet, and the
+				// replay-floor RMWMax depends on it.
+				s.regMu[ri].Lock()
 				old := s.regs[ri][idx]
 				var next uint64
 				switch op.RMW {
@@ -506,10 +617,7 @@ func (s *Switch) runOps(st *execState, ops []Op, actFrame *opContext) error {
 					next = old ^ a
 				}
 				s.regs[ri][idx] = next & mask(def.Width)
-				slot, _, w, err := s.compiled.lookupRef(op.Dst, act)
-				if err != nil {
-					return err
-				}
+				s.regMu[ri].Unlock()
 				st.phv[slot] = old & mask(w)
 			}
 		case OpRandom:
@@ -517,7 +625,10 @@ func (s *Switch) runOps(st *execState, ops []Op, actFrame *opContext) error {
 			if err != nil {
 				return err
 			}
-			st.phv[slot] = s.rng.Uint64() & mask(w)
+			s.rngMu.Lock()
+			r := s.rng.Uint64()
+			s.rngMu.Unlock()
+			st.phv[slot] = r & mask(w)
 		case OpSetValid:
 			hi := s.compiled.headerIndex[op.Header]
 			if !st.valid[hi] {
@@ -596,9 +707,9 @@ func (s *Switch) evalCond(st *execState, cond Cond, act *Action, frame *execFram
 func (s *Switch) execHash(st *execState, op *Op, act *Action, frame *execFrame) (uint32, error) {
 	// Serialize inputs MSB-first at declared widths, then payload.
 	totalBits := 0
-	vals := make([]uint64, len(op.Inputs))
-	widths := make([]int, len(op.Inputs))
-	for i, in := range op.Inputs {
+	vals := st.hashVals[:0]
+	widths := st.hashWidths[:0]
+	for _, in := range op.Inputs {
 		v, err := s.evalOperandIn(st, in, act, frame)
 		if err != nil {
 			return 0, err
@@ -608,14 +719,16 @@ func (s *Switch) execHash(st *execState, op *Op, act *Action, frame *execFrame) 
 			_, _, fw, _ := s.compiled.lookupRef(in.Ref, act)
 			w = fw
 		}
-		vals[i], widths[i] = v, w
+		vals = append(vals, v)
+		widths = append(widths, w)
 		totalBits += w
 	}
+	st.hashVals, st.hashWidths = vals, widths
 	nbytes := (totalBits + 7) / 8
-	if cap(s.scratch) < nbytes {
-		s.scratch = make([]byte, nbytes)
+	if cap(st.hashBuf) < nbytes {
+		st.hashBuf = make([]byte, nbytes)
 	}
-	buf := s.scratch[:nbytes]
+	buf := st.hashBuf[:nbytes]
 	for i := range buf {
 		buf[i] = 0
 	}
@@ -625,7 +738,8 @@ func (s *Switch) execHash(st *execState, op *Op, act *Action, frame *execFrame) 
 	}
 	data := buf
 	if op.IncludePayload {
-		data = append(append([]byte{}, buf...), st.payload...)
+		st.hashData = append(append(st.hashData[:0], buf...), st.payload...)
+		data = st.hashData
 	}
 
 	var key uint64
@@ -665,16 +779,19 @@ func (s *Switch) applyTable(st *execState, name string) error {
 	ti := s.compiled.tableIndex[name]
 	ts := s.tables[ti]
 	def := ts.def
-	vals := make([]uint64, len(def.Keys))
-	widths := make([]int, len(def.Keys))
-	for i, k := range def.Keys {
+	vals := st.keyVals[:0]
+	widths := st.keyWidths[:0]
+	for _, k := range def.Keys {
 		slot, _, w, err := s.compiled.lookupRef(k.Field, nil)
 		if err != nil {
 			return err
 		}
-		vals[i], widths[i] = st.phv[slot], w
+		vals = append(vals, st.phv[slot])
+		widths = append(widths, w)
 	}
-	entry := ts.lookup(vals, widths)
+	st.keyVals, st.keyWidths = vals, widths
+	entry, keyBuf := ts.lookup(vals, widths, st.keyBuf)
+	st.keyBuf = keyBuf
 	actionName := def.Default
 	var params []uint64
 	if entry != nil {

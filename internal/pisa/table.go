@@ -104,14 +104,19 @@ func (ts *tableState) isExactOnly() bool {
 	return true
 }
 
-func exactKeyString(vals []uint64) string {
-	b := make([]byte, 0, len(vals)*8)
+// appendExactKey appends the big-endian concatenation of vals to b — the
+// exact-match map key bytes.
+func appendExactKey(b []byte, vals []uint64) []byte {
 	for _, v := range vals {
 		b = append(b,
 			byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
 			byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 	}
-	return string(b)
+	return b
+}
+
+func exactKeyString(vals []uint64) string {
+	return string(appendExactKey(make([]byte, 0, len(vals)*8), vals))
 }
 
 func (ts *tableState) insert(e Entry) error {
@@ -154,9 +159,13 @@ func (ts *tableState) entryCount() int {
 }
 
 // lookup finds the matching entry for the key values, or nil on miss.
-func (ts *tableState) lookup(vals []uint64, widths []int) *Entry {
+// keyBuf is caller-owned scratch for the exact-match key bytes; the
+// (possibly grown) buffer is returned so the caller can keep it.
+func (ts *tableState) lookup(vals []uint64, widths []int, keyBuf []byte) (*Entry, []byte) {
 	if ts.isExactOnly() {
-		return ts.exact[exactKeyString(vals)]
+		keyBuf = appendExactKey(keyBuf[:0], vals)
+		// string(keyBuf) in the index expression does not allocate.
+		return ts.exact[string(keyBuf)], keyBuf
 	}
 	var best *Entry
 	bestPrio, bestPrefix := -1, -1
@@ -174,7 +183,7 @@ func (ts *tableState) lookup(vals []uint64, widths []int) *Entry {
 			best, bestPrio, bestPrefix = e, e.Priority, prefix
 		}
 	}
-	return best
+	return best, keyBuf
 }
 
 func (ts *tableState) entryMatches(e *Entry, vals []uint64, widths []int) bool {

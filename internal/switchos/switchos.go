@@ -16,6 +16,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"p4auth/internal/core"
@@ -114,8 +116,11 @@ type cachedExchange struct {
 // responseCache is the agent-level idempotency cache: a retransmitted
 // request (byte-identical, same seqNum) is answered from here instead of
 // re-entering the pipeline, where the replay defence would alert and a
-// key-exchange message would re-derive state. Entries are evicted FIFO.
+// key-exchange message would re-derive state. Entries are evicted FIFO;
+// evicted entries donate their buffers to the replacement, so the
+// steady-state store path does not allocate.
 type responseCache struct {
+	mu      sync.Mutex
 	cap     int
 	bySeq   map[uint32]int // seq -> index into entries
 	entries []cachedExchange
@@ -135,11 +140,14 @@ func newResponseCache(capacity int) *responseCache {
 // (a genuine replay or a corrupted copy) misses, so it reaches the
 // pipeline's replay defence.
 func (rc *responseCache) lookup(seq uint32, req []byte) ([][]byte, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
 	i, ok := rc.bySeq[seq]
 	if !ok || !bytes.Equal(rc.entries[i].req, req) {
 		return nil, false
 	}
-	// Deep-copy: callers (taps, hooks) may hold onto the slices.
+	// Deep-copy: callers (taps, hooks) may hold onto the slices, and the
+	// entry's buffers are recycled on eviction.
 	out := make([][]byte, len(rc.entries[i].pins))
 	for j, p := range rc.entries[i].pins {
 		out[j] = append([]byte(nil), p...)
@@ -148,23 +156,33 @@ func (rc *responseCache) lookup(seq uint32, req []byte) ([][]byte, bool) {
 }
 
 func (rc *responseCache) store(seq uint32, req []byte, pins [][]byte) {
-	e := cachedExchange{seq: seq, req: append([]byte(nil), req...)}
-	for _, p := range pins {
-		e.pins = append(e.pins, append([]byte(nil), p...))
-	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	var e *cachedExchange
 	if i, ok := rc.bySeq[seq]; ok {
-		rc.entries[i] = e // latest answer for this seq wins
-		return
-	}
-	if len(rc.entries) < rc.cap {
+		e = &rc.entries[i] // latest answer for this seq wins
+	} else if len(rc.entries) < rc.cap {
 		rc.bySeq[seq] = len(rc.entries)
-		rc.entries = append(rc.entries, e)
-		return
+		rc.entries = append(rc.entries, cachedExchange{})
+		e = &rc.entries[len(rc.entries)-1]
+	} else {
+		delete(rc.bySeq, rc.entries[rc.next].seq)
+		e = &rc.entries[rc.next]
+		rc.bySeq[seq] = rc.next
+		rc.next = (rc.next + 1) % rc.cap
 	}
-	delete(rc.bySeq, rc.entries[rc.next].seq)
-	rc.entries[rc.next] = e
-	rc.bySeq[seq] = rc.next
-	rc.next = (rc.next + 1) % rc.cap
+	// Deep-copy into the entry's recycled buffers.
+	e.seq = seq
+	e.req = append(e.req[:0], req...)
+	if cap(e.pins) < len(pins) {
+		old := e.pins
+		e.pins = make([][]byte, len(pins))
+		copy(e.pins, old[:cap(old)])
+	}
+	e.pins = e.pins[:len(pins)]
+	for j, p := range pins {
+		e.pins[j] = append(e.pins[j][:0], p...)
+	}
 }
 
 // Host is a complete switch: data plane plus software stack.
@@ -176,7 +194,7 @@ type Host struct {
 
 	hooks [numBoundaries]*Hooks
 	cache *responseCache
-	down  bool
+	down  atomic.Bool
 }
 
 // NewHost assembles a host around a data plane. The agent's idempotency
@@ -206,10 +224,10 @@ func (h *Host) SetResponseCache(capacity int) {
 // switch is silent: packets sent to it vanish (exactly what a peer of a
 // crashed node observes) and API calls fail. Chaos harnesses flip this
 // around a Reboot to model a crash/restart cycle.
-func (h *Host) SetDown(down bool) { h.down = down }
+func (h *Host) SetDown(down bool) { h.down.Store(down) }
 
 // Down reports whether the switch is crashed.
-func (h *Host) Down() bool { return h.down }
+func (h *Host) Down() bool { return h.down.Load() }
 
 // ClearCache drops the agent's idempotency cache contents, as a restart
 // of the agent process would. The capacity is preserved.
@@ -267,7 +285,7 @@ func (h *Host) regResultUp(op *RegOp, value *uint64) {
 // APIRegisterWrite performs a P4Runtime-style register write through the
 // full stack, returning the modeled latency of the request path.
 func (h *Host) APIRegisterWrite(regID uint32, index uint32, value uint64) (time.Duration, error) {
-	if h.down {
+	if h.down.Load() {
 		return 0, fmt.Errorf("%w: %s", ErrDown, h.Name)
 	}
 	cost := h.Costs.AgentBase + 2*h.Costs.ComposeField // index + data
@@ -286,7 +304,7 @@ func (h *Host) APIRegisterWrite(regID uint32, index uint32, value uint64) (time.
 // APIRegisterRead performs a P4Runtime-style register read through the
 // full stack.
 func (h *Host) APIRegisterRead(regID uint32, index uint32) (uint64, time.Duration, error) {
-	if h.down {
+	if h.down.Load() {
 		return 0, 0, fmt.Errorf("%w: %s", ErrDown, h.Name)
 	}
 	cost := h.Costs.AgentBase + h.Costs.ComposeField // index only
@@ -308,6 +326,11 @@ func (h *Host) APIRegisterRead(regID uint32, index uint32) (uint64, time.Duratio
 // IOResult is the outcome of a packet injected into the host (PacketOut or
 // a network packet): forwarded packets, PacketIns surfaced to the control
 // channel, and the modeled latency.
+//
+// An IOResult passed to the *Into methods is reusable: emission buffers
+// are recycled across calls, so NetOut/PacketIns contents are valid only
+// until the next *Into call on the same result. IOResults returned by the
+// by-value methods own their buffers.
 type IOResult struct {
 	// NetOut are emissions on network ports.
 	NetOut []pisa.Emission
@@ -315,6 +338,35 @@ type IOResult struct {
 	PacketIns [][]byte
 	// Cost is the total modeled latency (software path + pipeline).
 	Cost time.Duration
+
+	// pres is the reusable pipeline result; arena recycles the byte
+	// buffers backing NetOut/PacketIns across calls.
+	pres  pisa.Result
+	arena [][]byte
+	nused int
+}
+
+func (io *IOResult) reset() {
+	io.NetOut = io.NetOut[:0]
+	io.PacketIns = io.PacketIns[:0]
+	io.Cost = 0
+	io.nused = 0
+}
+
+// grab copies b into the next recycled arena buffer and returns it.
+func (io *IOResult) grab(b []byte) []byte {
+	var dst []byte
+	if io.nused < len(io.arena) {
+		dst = io.arena[io.nused][:0]
+	}
+	dst = append(dst, b...)
+	if io.nused < len(io.arena) {
+		io.arena[io.nused] = dst
+	} else {
+		io.arena = append(io.arena, dst)
+	}
+	io.nused++
+	return dst
 }
 
 // PacketOut injects a controller packet into the data plane via the CPU
@@ -324,20 +376,70 @@ type IOResult struct {
 // without re-entering the pipeline, so a duplicate EAK/ADHKD neither
 // re-derives key state nor trips the replay defence.
 func (h *Host) PacketOut(data []byte) (IOResult, error) {
-	if h.down {
+	var io IOResult
+	err := h.PacketOutInto(data, &io)
+	return io, err
+}
+
+// PacketOutInto is PacketOut with a caller-owned, reusable result (see
+// IOResult's reuse contract).
+func (h *Host) PacketOutInto(data []byte, io *IOResult) error {
+	io.reset()
+	if h.down.Load() {
 		// A crashed switch answers nothing; the controller sees the same
 		// silence as a lost packet and its retransmission budget applies.
-		return IOResult{}, nil
+		return nil
 	}
-	res := IOResult{Cost: h.Costs.PacketIOBase + time.Duration(len(data))*h.Costs.PerByte}
+	io.Cost += h.Costs.PacketIOBase
+	return h.packetOutOne(data, io, h.Costs.PacketIOBase)
+}
+
+// PacketOutBatch injects a window of PacketOuts as one agent I/O
+// transaction: the agent's PacketIOBase dispatch cost is paid once for the
+// whole window on the way down and once for all PacketIns on the way back
+// (the driver batches the DMA), while per-packet byte, driver, PCIe and
+// pipeline costs still accrue per packet. This is the transport under the
+// controller's windowed pipeline.
+func (h *Host) PacketOutBatch(datas [][]byte) (IOResult, error) {
+	var io IOResult
+	err := h.PacketOutBatchInto(datas, &io)
+	return io, err
+}
+
+// PacketOutBatchInto is PacketOutBatch with a caller-owned, reusable
+// result. PacketIns from all packets of the window are concatenated in
+// send order; callers match responses to requests by seqNum, not
+// position.
+func (h *Host) PacketOutBatchInto(datas [][]byte, io *IOResult) error {
+	io.reset()
+	if h.down.Load() || len(datas) == 0 {
+		return nil
+	}
+	io.Cost += h.Costs.PacketIOBase
+	for _, data := range datas {
+		if err := h.packetOutOne(data, io, 0); err != nil {
+			return err
+		}
+	}
+	if len(io.PacketIns) > 0 {
+		io.Cost += h.Costs.PacketIOBase
+	}
+	return nil
+}
+
+// packetOutOne runs one PacketOut through cache, hooks, and pipeline,
+// accumulating into io. pinBase is the per-PacketIn agent dispatch cost
+// (zero under a batch, where the dispatch is amortized by the caller).
+func (h *Host) packetOutOne(data []byte, io *IOResult, pinBase time.Duration) error {
+	io.Cost += time.Duration(len(data)) * h.Costs.PerByte
 	seq, cacheable := h.cacheKey(data)
 	if cacheable {
 		if pins, hit := h.cache.lookup(seq, data); hit {
-			res.PacketIns = pins
+			io.PacketIns = append(io.PacketIns, pins...)
 			for _, p := range pins {
-				res.Cost += time.Duration(len(p)) * h.Costs.PerByte
+				io.Cost += time.Duration(len(p)) * h.Costs.PerByte
 			}
-			return res, nil
+			return nil
 		}
 	}
 	orig := data
@@ -345,18 +447,22 @@ func (h *Host) PacketOut(data []byte) (IOResult, error) {
 		if hk := h.hooks[b]; hk != nil && hk.OnPacketOut != nil {
 			data = hk.OnPacketOut(data)
 			if data == nil {
-				return res, nil // silently dropped by the backdoor
+				return nil // silently dropped by the backdoor
 			}
 		}
 	}
-	res.Cost += h.Costs.DriverBase + h.Costs.PCIe
-	out, err := h.runPipeline(data, pisa.CPUPort, res)
-	if err == nil && cacheable && h.cacheWorthy(orig, out.PacketIns) {
-		// Keyed by the bytes the agent received (pre-hook): that is what a
-		// retransmitting controller will resend.
-		h.cache.store(seq, orig, out.PacketIns)
+	io.Cost += h.Costs.DriverBase + h.Costs.PCIe
+	pinsBefore := len(io.PacketIns)
+	if err := h.runPipelineInto(data, pisa.CPUPort, io, pinBase); err != nil {
+		return err
 	}
-	return out, err
+	if cacheable && h.cacheWorthy(orig, io.PacketIns[pinsBefore:]) {
+		// Keyed by the bytes the agent received (pre-hook): that is what a
+		// retransmitting controller will resend. Only this packet's own
+		// PacketIns are remembered.
+		h.cache.store(seq, orig, io.PacketIns[pinsBefore:])
+	}
+	return nil
 }
 
 // cacheWorthy filters what the idempotency cache remembers. Alert
@@ -407,27 +513,35 @@ func (h *Host) cacheKey(data []byte) (uint32, bool) {
 // NetworkPacket injects a packet arriving on a network port directly into
 // the pipeline (no software stack on the way in).
 func (h *Host) NetworkPacket(port int, data []byte) (IOResult, error) {
-	if h.down {
-		return IOResult{}, nil // crashed: the wire ends in a dead port
+	var io IOResult
+	if h.down.Load() {
+		return io, nil // crashed: the wire ends in a dead port
 	}
-	return h.runPipeline(data, port, IOResult{})
+	err := h.runPipelineInto(data, port, &io, h.Costs.PacketIOBase)
+	return io, err
 }
 
-func (h *Host) runPipeline(data []byte, port int, res IOResult) (IOResult, error) {
-	out, err := h.SW.Process(pisa.Packet{Data: data, Port: port})
-	if err != nil {
-		return res, fmt.Errorf("switchos: %s: pipeline: %w", h.Name, err)
+// runPipelineInto processes one packet and appends its emissions into io,
+// copying emission bytes into io's recycled arena. pinBase is the agent
+// dispatch cost charged per PacketIn.
+func (h *Host) runPipelineInto(data []byte, port int, io *IOResult, pinBase time.Duration) error {
+	if err := h.SW.ProcessInto(pisa.Packet{Data: data, Port: port}, &io.pres); err != nil {
+		return fmt.Errorf("switchos: %s: pipeline: %w", h.Name, err)
 	}
-	res.Cost += out.Cost
-	for _, e := range out.Emissions {
+	io.Cost += io.pres.Cost
+	for _, e := range io.pres.Emissions {
+		// Copy out of the pipeline's recycled buffers: the next ProcessInto
+		// on this IOResult (e.g. the following packet of a batch) reuses
+		// them.
+		kept := io.grab(e.Data)
 		if e.Port != pisa.CPUPort {
-			res.NetOut = append(res.NetOut, e)
+			io.NetOut = append(io.NetOut, pisa.Emission{Port: e.Port, Data: kept})
 			continue
 		}
 		// PacketIn path: PCIe + driver + hooks upward + agent.
-		res.Cost += h.Costs.PCIe + h.Costs.DriverBase +
-			h.Costs.PacketIOBase + time.Duration(len(e.Data))*h.Costs.PerByte
-		pin := e.Data
+		io.Cost += h.Costs.PCIe + h.Costs.DriverBase +
+			pinBase + time.Duration(len(e.Data))*h.Costs.PerByte
+		pin := kept
 		for _, b := range []Boundary{BoundarySDKDriver, BoundaryAgentSDK} {
 			if hk := h.hooks[b]; hk != nil && hk.OnPacketIn != nil {
 				pin = hk.OnPacketIn(pin)
@@ -437,8 +551,8 @@ func (h *Host) runPipeline(data []byte, port int, res IOResult) (IOResult, error
 			}
 		}
 		if pin != nil {
-			res.PacketIns = append(res.PacketIns, pin)
+			io.PacketIns = append(io.PacketIns, pin)
 		}
 	}
-	return res, nil
+	return nil
 }

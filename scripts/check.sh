@@ -22,4 +22,15 @@ go test -race ./...
 echo "== chaos short suite (fixed seeds)"
 go test -race -count=1 -run 'TestChaosShort|TestChaosDeterminism' ./internal/netsim/chaos/
 
+# Concurrency stress: pipelined writers vs concurrent rollovers under
+# fault taps, and the sharded-switch concurrency suite. -count=1 so the
+# race detector sees fresh interleavings on every gate.
+echo "== concurrency stress (-race, pipelined transport + sharded switch)"
+go test -race -count=1 ./internal/controller/ ./internal/pisa/
+
+# Bench smoke: the zero-allocation hot path must still complete through
+# the real benchmark harness (alloc budgets are gated by the tests above).
+echo "== bench smoke (AuthenticatedWrite)"
+go test -bench=BenchmarkAuthenticatedWrite -benchtime=10x -run '^$' -short .
+
 echo "== OK"
