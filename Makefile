@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-save bench-smoke chaos stress
+.PHONY: check build vet test race bench bench-save bench-smoke chaos stress cover fuzz-smoke
 
-check: build vet race chaos stress bench-smoke
+check: build vet race chaos stress cover fuzz-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,17 @@ chaos:
 # fault taps, plus the sharded-switch suite, with fresh interleavings.
 stress:
 	$(GO) test -race -count=1 ./internal/controller/ ./internal/pisa/
+
+# Coverage floor (>= 85%) for the trust-boundary packages: core codecs
+# and key machinery, crypto primitives, and the observability layer.
+cover:
+	./scripts/cover.sh
+
+# 10s of mutation per codec fuzz target on top of the checked-in seed
+# corpora (internal/core/testdata/fuzz). FUZZTIME=30s make fuzz-smoke
+# for a longer local campaign.
+fuzz-smoke:
+	./scripts/fuzz_smoke.sh
 
 # Quick benchmark smoke for the gate: the hot path must run end to end
 # through the benchmark harness.

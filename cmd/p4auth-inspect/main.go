@@ -13,6 +13,12 @@
 //
 //	p4auth-inspect snapshot <file-or-store-dir>...   # key/device snapshots
 //	p4auth-inspect journal  <file-or-store-dir>...   # write-ahead entries
+//
+// And the security-observability layer: a deterministic reference run
+// over a two-switch fabric that prints every exported metric and the
+// audit trail of security events:
+//
+//	p4auth-inspect metrics
 package main
 
 import (
@@ -28,6 +34,13 @@ import (
 func main() {
 	if len(os.Args) > 1 && (os.Args[1] == "snapshot" || os.Args[1] == "journal") {
 		if err := runState(os.Args[1], os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "metrics" {
+		if err := runMetrics(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

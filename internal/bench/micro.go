@@ -11,6 +11,7 @@ import (
 	"p4auth/internal/core"
 	"p4auth/internal/crypto"
 	"p4auth/internal/deploy"
+	"p4auth/internal/obs"
 	"p4auth/internal/pisa"
 )
 
@@ -36,11 +37,21 @@ type TputRow struct {
 	Speedup float64 `json:"speedup_vs_serial"`
 }
 
+// MetricsBlock is the observability snapshot captured from the
+// AuthenticatedWrite fixture's controller after its benchmark loop:
+// proof the metrics layer was live while the allocs/op number was
+// measured, plus the instrument values themselves for diffing.
+type MetricsBlock struct {
+	obs.Snapshot
+	AuditEvents int `json:"audit_events"`
+}
+
 // BenchJSON is the checked-in benchmark artifact.
 type BenchJSON struct {
 	Date      string        `json:"date"`
 	Micro     []MicroResult `json:"micro"`
 	Fig19Pipe []TputRow     `json:"fig19_pipelined"`
+	Metrics   *MetricsBlock `json:"metrics,omitempty"`
 }
 
 func micro(name string, fn func(b *testing.B)) MicroResult {
@@ -137,6 +148,8 @@ func CollectBenchJSON(date string) (*BenchJSON, error) {
 			}
 		}
 	}))
+	o := c.Observer()
+	out.Metrics = &MetricsBlock{Snapshot: o.Metrics.Snapshot(), AuditEvents: o.Audit.Len()}
 
 	// Pipelined Fig. 19 sweep (numeric, not the formatted report).
 	opts := DefaultFig19PipelinedOpts()

@@ -22,6 +22,7 @@ import (
 	"p4auth/internal/core"
 	"p4auth/internal/crypto"
 	"p4auth/internal/netsim"
+	"p4auth/internal/obs"
 	"p4auth/internal/p4rt"
 	"p4auth/internal/pisa"
 	"p4auth/internal/statestore"
@@ -143,11 +144,15 @@ type Controller struct {
 	persistN uint64
 	dead     bool
 	seedUses map[string]int
+
+	// ob holds the pre-resolved observability instruments (observe.go).
+	// Atomic so hot paths read it without c.mu; never nil after New.
+	ob obPtr
 }
 
 // New returns a controller using rng for salts and private secrets.
 func New(rng crypto.RandomSource) *Controller {
-	return &Controller{
+	c := &Controller{
 		rng:       rng,
 		switches:  make(map[string]*swHandle),
 		adj:       make(map[portKey]peerRef),
@@ -157,6 +162,8 @@ func New(rng crypto.RandomSource) *Controller {
 		linkTaps:  make(map[portKey]netsim.Tap),
 		seedUses:  make(map[string]int),
 	}
+	c.ob.Store(newCtlObs(obs.NewObserver(0)))
+	return c
 }
 
 // Register adds a switch under the controller's management. linkLat is the
@@ -166,12 +173,7 @@ func (c *Controller) Register(name string, host *switchos.Host, cfg core.Config,
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, dup := c.switches[name]; dup {
-		return fmt.Errorf("controller: switch %q already registered", name)
-	}
-	c.switches[name] = &swHandle{
+	h := &swHandle{
 		name:    name,
 		host:    host,
 		cfg:     cfg,
@@ -181,6 +183,14 @@ func (c *Controller) Register(name string, host *switchos.Host, cfg core.Config,
 		info:    host.Info,
 		linkLat: linkLat,
 	}
+	c.mu.Lock()
+	if _, dup := c.switches[name]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("controller: switch %q already registered", name)
+	}
+	c.switches[name] = h
+	c.mu.Unlock()
+	c.wireSwitchObs(h, c.obsv().o)
 	return nil
 }
 
@@ -366,9 +376,7 @@ func (c *Controller) relay(from *swHandle, ems []pisa.Emission) (time.Duration, 
 			c.stats.BytesRecvd += len(pin)
 			c.mu.Unlock()
 			if r, err := core.DecodeMessage(pin); err == nil && r.HdrType == core.HdrAlert {
-				c.mu.Lock()
-				c.alerts = append(c.alerts, Alert{Switch: dst.name, Reason: r.MsgType, SeqNum: r.SeqNum})
-				c.mu.Unlock()
+				c.noteAlert(dst.name, r.MsgType, r.SeqNum, CauseDPRelay)
 			}
 		}
 		for _, em := range res.NetOut {

@@ -16,6 +16,8 @@ import (
 func (c *Controller) LocalKeyInit(sw string) (KMPResult, error) {
 	var res KMPResult
 	var err error
+	done := c.noteRollover(sw, CauseLocalInit, 0)
+	defer func() { done(err) }()
 	if c.resilient() {
 		res, err = c.localKeyInitResilient(sw)
 	} else {
@@ -80,6 +82,8 @@ func (c *Controller) localKeyInitLegacy(sw string) (KMPResult, error) {
 func (c *Controller) LocalKeyUpdate(sw string) (KMPResult, error) {
 	var res KMPResult
 	var err error
+	done := c.noteRollover(sw, CauseLocalUpdate, 0)
+	defer func() { done(err) }()
 	if c.resilient() {
 		res, err = c.localKeyUpdateResilient(sw)
 	} else {
@@ -143,6 +147,8 @@ func (c *Controller) localADHKD(h *swHandle) (KMPResult, error) {
 func (c *Controller) PortKeyInit(a string, pa int, b string, pb int) (KMPResult, error) {
 	var res KMPResult
 	var err error
+	done := c.noteRollover(a, CausePortInit, uint64(pa))
+	defer func() { done(err) }()
 	if c.resilient() {
 		res, err = c.portKeyInitResilient(a, pa, b, pb)
 	} else {
@@ -237,6 +243,8 @@ func (c *Controller) portKeyInitLegacy(a string, pa int, b string, pb int) (KMPR
 func (c *Controller) PortKeyUpdate(a string, pa int) (KMPResult, error) {
 	var res KMPResult
 	var err error
+	done := c.noteRollover(a, CausePortUpdate, uint64(pa))
+	defer func() { done(err) }()
 	if c.resilient() {
 		res, err = c.portKeyUpdateResilient(a, pa)
 	} else {

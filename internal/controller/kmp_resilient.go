@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"p4auth/internal/core"
+	"p4auth/internal/obs"
 )
 
 // This file is the resilient (opt-in, SetRetryPolicy with MaxAttempts > 1)
@@ -210,6 +211,11 @@ func (c *Controller) resyncLocal(h *swHandle, res *KMPResult) error {
 		wx, err := c.regWrite(h, core.RegVer, uint32(core.KeyIndexLocal), uint64(ctlVer))
 		res.account(wx)
 		res.RTT += SignCost + VerifyCost
+		if err == nil {
+			k := c.obsv()
+			k.rolloverRollback.Inc()
+			k.audit(obs.EvRolloverRollback, h.name, CauseSwitchAheadResync, 0, uint64(ctlVer))
+		}
 		return err
 	default:
 		return fmt.Errorf("controller: %s: unrecoverable key drift (switch pa_ver=%d, controller=%d); Reinitialize required",

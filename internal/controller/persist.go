@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"p4auth/internal/core"
+	"p4auth/internal/obs"
 	"p4auth/internal/statestore"
 	"p4auth/internal/switchos"
 )
@@ -101,8 +102,9 @@ func (c *Controller) Killed() bool {
 // snapshot must never fall back to the pre-shared seed.
 func (c *Controller) countSeedUse(sw string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.seedUses[sw]++
+	c.mu.Unlock()
+	c.obsv().seedUses.Inc()
 }
 
 // SeedUses reports how many times K_seed entered a key derivation for the
@@ -182,12 +184,17 @@ func (c *Controller) walSettle(sw string, id uint64, applied bool, register stri
 	if st == nil || dead {
 		return
 	}
+	ko := c.obsv()
 	if applied {
 		_ = st.Delete(walKey(sw, id))
+		ko.walApplied.Inc()
+		ko.audit(obs.EvWALSettle, sw, CauseWALApplied, 0, id)
 		return
 	}
 	e := &core.JournalEntry{ID: id, Switch: sw, Register: register, Index: index, Value: value, State: core.WriteFailed}
 	_ = st.Save(walKey(sw, id), e.Encode())
+	ko.walFailed.Inc()
+	ko.audit(obs.EvWALSettle, sw, CauseWALFailed, 0, id)
 }
 
 // walBeginBatch records one group-commit intent record covering a whole
@@ -232,8 +239,11 @@ func (c *Controller) walSettleBatch(sw string, id uint64, entries []batchEntry) 
 			break
 		}
 	}
+	ko := c.obsv()
 	if allOK {
 		_ = st.Delete(walKey(sw, id))
+		ko.walApplied.Add(uint64(len(entries)))
+		ko.audit(obs.EvWALSettle, sw, CauseWALApplied, 0, id)
 		return
 	}
 	e := &core.JournalBatch{ID: id, Switch: sw, Writes: make([]core.BatchWrite, len(entries))}
@@ -241,6 +251,9 @@ func (c *Controller) walSettleBatch(sw string, id uint64, entries []batchEntry) 
 		state := core.WriteApplied
 		if entries[i].err != nil {
 			state = core.WriteFailed
+			ko.walFailed.Inc()
+		} else {
+			ko.walApplied.Inc()
 		}
 		e.Writes[i] = core.BatchWrite{
 			Register: entries[i].register, Index: entries[i].index,
@@ -248,6 +261,7 @@ func (c *Controller) walSettleBatch(sw string, id uint64, entries []batchEntry) 
 		}
 	}
 	_ = st.Save(walKey(sw, id), e.Encode())
+	ko.audit(obs.EvWALSettle, sw, CauseWALFailed, 0, id)
 }
 
 // JournalEntries returns the decoded journal entries persisted for a
@@ -469,20 +483,27 @@ func (c *Controller) replayJournal(h *swHandle) (applied, redriven, failed int, 
 		case core.WriteFailed:
 			failed++ // kept for the operator
 		case core.WriteIntent:
+			ko := c.obsv()
 			got, _, rerr := c.regRead(h, e.Register, e.Index)
 			if rerr == nil && got == e.Value {
 				applied++
+				ko.walApplied.Inc()
+				ko.audit(obs.EvWALSettle, h.name, CauseWALRecovered, 0, e.ID)
 				_ = st.Delete(k)
 				continue
 			}
 			if _, werr := c.regWrite(h, e.Register, e.Index, e.Value); werr == nil {
 				redriven++
+				ko.walRedriven.Inc()
+				ko.audit(obs.EvWALSettle, h.name, CauseWALRedriven, 0, e.ID)
 				_ = st.Delete(k)
 				continue
 			} else {
 				errs = append(errs, fmt.Errorf("%s: re-drive: %w", k, werr))
 			}
 			failed++
+			ko.walFailed.Inc()
+			ko.audit(obs.EvWALSettle, h.name, CauseWALFailed, 0, e.ID)
 			e.State = core.WriteFailed
 			_ = st.Save(k, e.Encode())
 		}
@@ -507,15 +528,20 @@ func (c *Controller) replayJournalBatch(h *swHandle, st statestore.Store, k stri
 		case core.WriteFailed:
 			failed++
 		case core.WriteIntent:
+			ko := c.obsv()
 			got, _, rerr := c.regRead(h, w.Register, w.Index)
 			if rerr == nil && got == w.Value {
 				applied++
+				ko.walApplied.Inc()
+				ko.audit(obs.EvWALSettle, h.name, CauseWALRecovered, 0, e.ID)
 				w.State = core.WriteApplied
 				dirty = true
 				continue
 			}
 			if _, werr := c.regWrite(h, w.Register, w.Index, w.Value); werr == nil {
 				redriven++
+				ko.walRedriven.Inc()
+				ko.audit(obs.EvWALSettle, h.name, CauseWALRedriven, 0, e.ID)
 				w.State = core.WriteApplied
 				dirty = true
 				continue
@@ -523,6 +549,8 @@ func (c *Controller) replayJournalBatch(h *swHandle, st statestore.Store, k stri
 				errs = append(errs, fmt.Errorf("%s[%d]: re-drive: %w", k, i, werr))
 			}
 			failed++
+			ko.walFailed.Inc()
+			ko.audit(obs.EvWALSettle, h.name, CauseWALFailed, 0, e.ID)
 			w.State = core.WriteFailed
 			dirty = true
 		}
@@ -615,6 +643,9 @@ func (c *Controller) Reinitialize(sw string) (KMPResult, error) {
 	if h.host.Down() {
 		return KMPResult{}, fmt.Errorf("%w: %s: cannot re-seed a down switch", switchos.ErrDown, sw)
 	}
+	ko := c.obsv()
+	ko.eakFallback.Inc()
+	ko.audit(obs.EvEAKFallback, sw, CauseFactoryReset, 0, 0)
 	if err := core.FactoryReset(h.host.SW, h.cfg); err != nil {
 		return KMPResult{}, err
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"p4auth/internal/core"
+	"p4auth/internal/obs"
 )
 
 // Windowed authenticated transport (the pipelined C-DP path).
@@ -166,7 +167,7 @@ func (c *Controller) runBatch(h *swHandle, entries []batchEntry, window int) Bat
 				entries[i].done, entries[i].err = true, qerr
 			}
 		}
-		return c.finishBatch(&br, entries)
+		return c.finishBatch(h, &br, entries)
 	}
 
 	bySeq := make(map[uint32]*batchEntry, window)
@@ -270,9 +271,7 @@ func (c *Controller) runBatch(h *swHandle, entries []batchEntry, window int) Bat
 				continue // unverifiable version: the entry just retries
 			}
 			if !r.Verify(h.dig, key) {
-				c.mu.Lock()
-				c.alerts = append(c.alerts, Alert{Switch: h.name, Reason: core.AlertBadDigest, SeqNum: r.SeqNum})
-				c.mu.Unlock()
+				c.noteAlert(h.name, core.AlertBadDigest, r.SeqNum, CauseResponseDigest)
 				continue
 			}
 			br.Lat += VerifyCost
@@ -281,9 +280,11 @@ func (c *Controller) runBatch(h *swHandle, entries []batchEntry, window int) Bat
 				continue // duplicate or stale (idempotency-cache replay)
 			}
 			if r.HdrType == core.HdrAlert {
-				c.mu.Lock()
-				c.alerts = append(c.alerts, Alert{Switch: h.name, Reason: r.MsgType, SeqNum: r.SeqNum})
-				c.mu.Unlock()
+				cause := CauseRequestMangled
+				if r.MsgType == core.AlertReplay {
+					cause = CauseStaleSeq
+				}
+				c.noteAlert(h.name, r.MsgType, r.SeqNum, cause)
 				if r.MsgType == core.AlertReplay {
 					// The floor moved past this entry: fresh number next
 					// round.
@@ -295,6 +296,7 @@ func (c *Controller) runBatch(h *swHandle, entries []batchEntry, window int) Bat
 						// of our counter (a lease-bumped snapshot). Jump
 						// the counter like the serial engine does.
 						h.seq.SkipAhead(core.FloorLease)
+						c.noteFloorBump(h, CauseRestoredFloor, r.SeqNum)
 					}
 				}
 				// BadDigest: mangled in flight; the same bytes go again.
@@ -345,16 +347,31 @@ func (c *Controller) runBatch(h *swHandle, entries []batchEntry, window int) Bat
 			c.noteSuccess(h)
 		}
 	}
-	return c.finishBatch(&br, entries)
+	return c.finishBatch(h, &br, entries)
 }
 
-// finishBatch folds per-entry outcomes into the result.
-func (c *Controller) finishBatch(br *BatchResult, entries []batchEntry) BatchResult {
+// finishBatch folds per-entry outcomes into the result and accounts each
+// entry: failed writes get an audit event naming the cause, so the chaos
+// harness can demand an explanation for every dropped write.
+func (c *Controller) finishBatch(h *swHandle, br *BatchResult, entries []batchEntry) BatchResult {
+	k := c.obsv()
 	for i := range entries {
-		br.Errs[i] = entries[i].err
-		br.Values[i] = entries[i].val
-		if entries[i].err != nil {
+		e := &entries[i]
+		br.Errs[i] = e.err
+		br.Values[i] = e.val
+		switch {
+		case e.err == nil && e.read:
+			k.readOK.Inc()
+		case e.err == nil:
+			k.writeOK.Inc()
+		case e.read:
 			br.Failed++
+			k.readErr.Inc()
+		default:
+			br.Failed++
+			k.writeErr.Inc()
+			k.writeDropped.Inc()
+			k.audit(obs.EvWriteDropped, h.name, causeOf(e.err), e.seq, e.value)
 		}
 	}
 	return *br

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"p4auth/internal/core"
+	"p4auth/internal/obs"
 )
 
 // ReadRegister performs an authenticated register read (the P4Auth path of
@@ -16,7 +17,15 @@ func (c *Controller) ReadRegister(sw, register string, index uint32) (uint64, ti
 		return 0, 0, err
 	}
 	value, x, err := c.regRead(h, register, index)
-	return value, x.lat + SignCost + VerifyCost, err
+	lat := x.lat + SignCost + VerifyCost
+	k := c.obsv()
+	if err == nil {
+		k.readOK.Inc()
+		k.readNs.Observe(uint64(lat))
+	} else {
+		k.readErr.Inc()
+	}
+	return value, lat, err
 }
 
 // WriteRegister performs an authenticated register write. With crash
@@ -36,7 +45,17 @@ func (c *Controller) WriteRegister(sw, register string, index uint32, value uint
 	}
 	x, err := c.regWrite(h, register, index, value)
 	c.walSettle(sw, jid, err == nil, register, index, value)
-	return x.lat + SignCost + VerifyCost, err
+	lat := x.lat + SignCost + VerifyCost
+	k := c.obsv()
+	if err == nil {
+		k.writeOK.Inc()
+		k.writeNs.Observe(uint64(lat))
+	} else {
+		k.writeErr.Inc()
+		k.writeDropped.Inc()
+		k.audit(obs.EvWriteDropped, sw, causeOf(err), 0, value)
+	}
+	return lat, err
 }
 
 // regRead is the transact-based register read used by both the public API

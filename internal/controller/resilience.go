@@ -7,6 +7,7 @@ import (
 
 	"p4auth/internal/core"
 	"p4auth/internal/netsim"
+	"p4auth/internal/obs"
 )
 
 // ErrTimeout is returned when a control-channel exchange exhausts its
@@ -229,8 +230,17 @@ func (c *Controller) ClearHealth(sw string) error {
 		return err
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	wasQuarantined := false
+	if rec, ok := c.health[sw]; ok && rec.State == Quarantined {
+		wasQuarantined = true
+	}
 	delete(c.health, sw)
+	c.mu.Unlock()
+	if wasQuarantined {
+		k := c.obsv()
+		k.quarantineLeave.Inc()
+		k.audit(obs.EvQuarantineLeave, sw, CauseOperatorClear, 0, 0)
+	}
 	return nil
 }
 
@@ -261,7 +271,6 @@ func (c *Controller) noteSuccess(h *swHandle) {
 // the policy thresholds, emitting an AlertUnreachable on quarantine.
 func (c *Controller) noteFailure(h *swHandle) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	rec, ok := c.health[h.name]
 	if !ok {
 		rec = &Health{}
@@ -269,17 +278,27 @@ func (c *Controller) noteFailure(h *swHandle) {
 	}
 	rec.Failures++
 	rec.Consecutive++
+	streak := rec.Consecutive
 	pol := c.healthPol
+	entered := false
 	switch {
 	case pol.QuarantineAfter > 0 && rec.Consecutive >= pol.QuarantineAfter:
 		if rec.State != Quarantined {
 			rec.State = Quarantined
 			c.alerts = append(c.alerts, Alert{Switch: h.name, Reason: core.AlertUnreachable})
+			entered = true
 		}
 	case pol.DegradeAfter > 0 && rec.Consecutive >= pol.DegradeAfter:
 		if rec.State == Healthy {
 			rec.State = Degraded
 		}
+	}
+	c.mu.Unlock()
+	if entered {
+		k := c.obsv()
+		k.alertUnreachable.Inc()
+		k.quarantineEnter.Inc()
+		k.audit(obs.EvQuarantineEnter, h.name, CauseConsecutiveFailures, 0, uint64(streak))
 	}
 }
 
@@ -348,6 +367,7 @@ func (c *Controller) transactLocked(h *swHandle, req *core.Message, wantResp boo
 		var ae *AlertError
 		if errors.As(err, &ae) && ae.Reason == core.AlertReplay {
 			h.seq.SkipAhead(core.FloorLease)
+			c.noteFloorBump(h, CauseReplayHeal, ae.Seq)
 		}
 	}
 	return x, err
@@ -363,6 +383,9 @@ func (c *Controller) transactOnceLocked(h *swHandle, req *core.Message, wantResp
 	pol := c.retryPolicy()
 	var lastErr error
 	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			c.obsv().retransmits.Inc()
+		}
 		if wait := pol.backoff(attempt); wait > 0 {
 			x.lat += wait
 			c.mu.Lock()
@@ -451,9 +474,7 @@ func (c *Controller) vetResponses(h *swHandle, req *core.Message, resp []*core.M
 	if !r.Verify(h.dig, key) {
 		// Detection of misreported statistics (Fig. 9): the controller
 		// itself raises the alert when a response fails verification.
-		c.mu.Lock()
-		c.alerts = append(c.alerts, Alert{Switch: h.name, Reason: core.AlertBadDigest, SeqNum: r.SeqNum})
-		c.mu.Unlock()
+		c.noteAlert(h.name, core.AlertBadDigest, r.SeqNum, CauseResponseDigest)
 		return true, fmt.Errorf("%w: response digest mismatch on %s", ErrTampered, h.name)
 	}
 	if r.SeqNum != req.SeqNum {
@@ -464,9 +485,11 @@ func (c *Controller) vetResponses(h *swHandle, req *core.Message, resp []*core.M
 		// was mangled in flight (the switch alerts before consuming the
 		// sequence number) — resending the clean bytes can still succeed,
 		// so only the final attempt settles and surfaces it.
-		c.mu.Lock()
-		c.alerts = append(c.alerts, Alert{Switch: h.name, Reason: r.MsgType, SeqNum: r.SeqNum})
-		c.mu.Unlock()
+		cause := CauseRequestMangled
+		if r.MsgType == core.AlertReplay {
+			cause = CauseStaleSeq
+		}
+		c.noteAlert(h.name, r.MsgType, r.SeqNum, cause)
 		if final {
 			_ = h.seq.Settle(r.SeqNum)
 		}

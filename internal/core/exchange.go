@@ -185,3 +185,13 @@ func PeekControl(data []byte) (hdrType uint8, seqNum uint32, ok bool) {
 	seqNum = uint32(data[3])<<24 | uint32(data[4])<<16 | uint32(data[5])<<8 | uint32(data[6])
 	return hdrType, seqNum, true
 }
+
+// PeekMsgType inspects an encoded control-channel packet's msgType (the
+// alert reason for HdrAlert packets) without a full decode; same
+// plausibility check as PeekControl.
+func PeekMsgType(data []byte) (msgType uint8, ok bool) {
+	if len(data) < ptypeDef.Bytes()+authDef.Bytes() || data[0] != PTypeP4Auth {
+		return 0, false
+	}
+	return data[2], true
+}

@@ -36,6 +36,7 @@ import (
 	"p4auth/internal/crypto"
 	"p4auth/internal/deploy"
 	"p4auth/internal/netsim"
+	"p4auth/internal/obs"
 	"p4auth/internal/pisa"
 	"p4auth/internal/statestore"
 )
@@ -130,6 +131,10 @@ type harness struct {
 	rng   rng
 	sim   *netsim.Sim
 	store *statestore.Mem
+	// ob is the run's shared observer: controller generations come and
+	// go, but the metrics registry and the audit trail persist across
+	// them — the post-run audit sweep needs the whole story.
+	ob    *obs.Observer
 	c     *controller.Controller
 	sw    map[string]*deploy.Switch
 	names []string
@@ -170,6 +175,7 @@ func Run(o Options) (*Result, error) {
 		rng:    rng{s: o.Seed ^ 0xC4A05AFE},
 		sim:    netsim.NewSim(),
 		store:  statestore.NewMem(),
+		ob:     obs.NewObserver(0),
 		sw:     map[string]*deploy.Switch{},
 		names:  []string{"s1", "s2"},
 		shadow: map[string][]uint64{},
@@ -216,6 +222,7 @@ func Run(o Options) (*Result, error) {
 		h.retryArmedOp(round)
 	}
 	h.finalExercise()
+	h.checkAudit("final")
 	return h.res, nil
 }
 
@@ -240,6 +247,7 @@ func (h *harness) newController() error {
 	if err := c.EnableCrashSafety(h.store); err != nil {
 		return err
 	}
+	c.SetObserver(h.ob)
 	h.c = c
 	return nil
 }
@@ -475,6 +483,8 @@ func (h *harness) checkInvariants(label, rebooted string) {
 	}
 	// 4. Forgery still bounces off every switch.
 	h.forgeryProbe(label)
+	// 5. The audit log explains everything the metrics counted.
+	h.checkAudit(label)
 }
 
 // finalExercise proves full reconvergence: rollovers, port-key update,
@@ -510,6 +520,41 @@ func (h *harness) finalExercise() {
 	for _, n := range h.names {
 		h.trace("final: %s floors=%v shadow=%v", n, h.readFloors(n), h.shadow[n])
 	}
+}
+
+// checkAudit is the observability completeness sweep: every floor bump
+// and every dropped write the metrics counted must be explained by an
+// audit event naming a non-empty cause. Counters and the audit ring are
+// shared across controller generations, so the comparison covers the
+// whole run so far.
+func (h *harness) checkAudit(label string) {
+	m, a := h.ob.Metrics, h.ob.Audit
+	if a.Evicted() > 0 {
+		// The ring wrapped; counts can no longer be reconciled. A chaos
+		// run should never come close to the default capacity.
+		h.violate("%s: audit ring evicted %d events", label, a.Evicted())
+		return
+	}
+	bumps := m.Counter("ctl.floor_bumps").Load()
+	drops := m.Counter("ctl.write_dropped").Load()
+	if n := uint64(len(a.ByType(obs.EvFloorBump))); n != bumps {
+		h.violate("%s: %d floor bumps counted but %d audit events explain them", label, bumps, n)
+	}
+	if n := uint64(len(a.ByType(obs.EvWriteDropped))); n != drops {
+		h.violate("%s: %d dropped writes counted but %d audit events explain them", label, drops, n)
+	}
+	for _, e := range a.Events() {
+		switch e.Type {
+		case obs.EvFloorBump, obs.EvWriteDropped, obs.EvDigestMismatch,
+			obs.EvReplayRejected, obs.EvRolloverRollback, obs.EvWALSettle:
+			if e.Cause == "" {
+				h.violate("%s: audit event #%d (%s on %s) names no cause",
+					label, e.ID, e.Type, e.Actor)
+			}
+		}
+	}
+	h.trace("%s: audit reconciled: floor_bumps=%d write_dropped=%d events=%d",
+		label, bumps, drops, a.Len())
 }
 
 // checkPortSync requires both ends of the s1<->s2 link to agree on the

@@ -75,38 +75,84 @@ func CorruptTap(n int, seed uint64) Tap {
 	return t
 }
 
-// NewReorderTap returns a tap that reorders the packet stream with a
-// deterministic three-slot pattern: packet 3k+1 is held (a copy) and
-// dropped from its slot, packet 3k+2 passes through, and packet 3k+3 is
-// replaced by the held packet. Against a pipelined sender this delivers
-// later window members before earlier ones — the receiver's replay floor
-// overtakes the held packet's sequence number, so its eventual delivery
-// (or retransmission) draws a replay rejection and forces a re-sign with
-// a fresh number. That is precisely the out-of-order hazard the windowed
-// transport must absorb, produced without any randomness.
-func NewReorderTap(period int) (Tap, error) {
+// Reorderer reorders a packet stream with a deterministic three-slot
+// pattern: packet 3k+1 is held (a copy) and dropped from its slot,
+// packet 3k+2 passes through, and packet 3k+3 is replaced by the held
+// packet. Against a pipelined sender this delivers later window members
+// before earlier ones — the receiver's replay floor overtakes the held
+// packet's sequence number, so its eventual delivery (or retransmission)
+// draws a replay rejection and forces a re-sign with a fresh number.
+// That is precisely the out-of-order hazard the windowed transport must
+// absorb, produced without any randomness.
+//
+// A Reorderer owns a held slot, so its lifetime matters: tear the tap
+// down with Close when its link goes away. A closed Reorderer drops the
+// held packet and passes everything through verbatim — without Close, a
+// tap that is re-invoked after link teardown would emit a packet from
+// the torn-down stream into the new one.
+type Reorderer struct {
+	period int
+	count  int
+	held   []byte
+	closed bool
+}
+
+// NewReorderer returns a Reorderer; the period must be >= 3 (3 reorders
+// every triple). Install it with Reorderer.Tap.
+func NewReorderer(period int) (*Reorderer, error) {
 	if period < 3 {
 		return nil, fmt.Errorf("netsim: reorder period %d must be >= 3", period)
 	}
-	count := 0
-	var held []byte
-	return func(data []byte) []byte {
-		count++
-		switch count % period {
-		case 1:
-			held = append(held[:0], data...)
-			return nil // held back: its slot goes empty
-		case 0:
-			if held == nil {
-				return data
-			}
-			out := held
-			held = nil
-			return out // delivered late, after its successors
-		default:
+	return &Reorderer{period: period}, nil
+}
+
+// Tap is the Reorderer's link tap; the method value satisfies Tap.
+func (r *Reorderer) Tap(data []byte) []byte {
+	if r.closed {
+		return data
+	}
+	r.count++
+	switch r.count % r.period {
+	case 1:
+		r.held = append(r.held[:0], data...)
+		return nil // held back: its slot goes empty
+	case 0:
+		if r.held == nil {
 			return data
 		}
-	}, nil
+		out := r.held
+		r.held = nil
+		return out // delivered late, after its successors
+	default:
+		return data
+	}
+}
+
+// Close tears the reorderer down: the held slot (if any) is dropped, and
+// every later Tap call passes its packet through unchanged. It reports
+// whether a held packet was discarded, so a harness can account for the
+// loss (the sender sees it as one more unacknowledged request). Close is
+// idempotent.
+func (r *Reorderer) Close() (droppedHeld bool) {
+	droppedHeld = r.held != nil
+	r.held = nil
+	r.closed = true
+	return droppedHeld
+}
+
+// Holding reports whether a packet is currently displaced into the held
+// slot (always false once closed).
+func (r *Reorderer) Holding() bool { return r.held != nil }
+
+// NewReorderTap returns the tap of a new Reorderer. Use NewReorderer
+// directly when the tap may outlive its link — only the Reorderer handle
+// can Close the held slot.
+func NewReorderTap(period int) (Tap, error) {
+	r, err := NewReorderer(period)
+	if err != nil {
+		return nil, err
+	}
+	return r.Tap, nil
 }
 
 // ReorderTap is NewReorderTap with the minimum period of 3 (reorder every

@@ -51,4 +51,102 @@ func TestNewReorderTapRejectsBadPeriod(t *testing.T) {
 	if _, err := NewReorderTap(2); err == nil {
 		t.Fatal("period 2 accepted")
 	}
+	if _, err := NewReorderer(2); err == nil {
+		t.Fatal("NewReorderer accepted period 2")
+	}
+}
+
+// TestReordererCloseDropsHeldPacket is the regression test for the
+// held-slot leak: a reorderer whose link was torn down while a packet
+// sat in the held slot used to emit that stale packet into whatever
+// stream next invoked the tap. Close must drop the slot and neuter the
+// displacement pattern.
+func TestReordererCloseDropsHeldPacket(t *testing.T) {
+	r, err := NewReorderer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Tap([]byte{1}); got != nil {
+		t.Fatalf("packet 1 must be held, got %v", got)
+	}
+	if !r.Holding() {
+		t.Fatal("Holding() false with a packet in the held slot")
+	}
+	if !r.Close() {
+		t.Fatal("Close did not report the dropped held packet")
+	}
+	if r.Holding() {
+		t.Fatal("Holding() true after Close")
+	}
+	// The link comes back and the same tap value is invoked again: the
+	// pre-teardown packet must never surface, and no new displacement
+	// may start.
+	for b := byte(2); b < 8; b++ {
+		if got := r.Tap([]byte{b}); !bytes.Equal(got, []byte{b}) {
+			t.Fatalf("packet %d after Close: got %v, want pass-through", b, got)
+		}
+	}
+	if r.Close() {
+		t.Fatal("idempotent Close reported a held packet")
+	}
+}
+
+// TestReordererLinkTeardown replays the leak at the netsim layer: hold a
+// packet on a tapped link, tear the tap down (SetTap nil + Close), then
+// re-tap the link for a fresh stream and verify the receiver sees only
+// the new stream's packets — the displaced pre-teardown packet stays
+// gone.
+func TestReordererLinkTeardown(t *testing.T) {
+	net := NewNetwork()
+	var rcvd [][]byte
+	net.AddNode("tx", nil)
+	net.AddNode("rx", HandlerFunc(func(_ *Network, _ *Node, _ int, data []byte) {
+		rcvd = append(rcvd, append([]byte(nil), data...))
+	}))
+	link := net.MustConnect("tx", 0, "rx", 0, 0, 0)
+	tx := net.Node("tx")
+
+	r, err := NewReorderer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := link.SetTap("rx", r.Tap); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(tx, 0, []byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.Run()
+	if len(rcvd) != 0 || !r.Holding() {
+		t.Fatalf("packet 1 must sit in the held slot (rcvd=%v)", rcvd)
+	}
+
+	// Link teardown: clear the tap and close the reorderer.
+	if err := link.SetTap("rx", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Close() {
+		t.Fatal("Close did not drain the held slot")
+	}
+
+	// The link is re-tapped with the same (now closed) reorderer — e.g. a
+	// chaos schedule that re-applies its stored tap set after healing.
+	if err := link.SetTap("rx", r.Tap); err != nil {
+		t.Fatal(err)
+	}
+	for b := byte(10); b < 13; b++ {
+		if err := net.Send(tx, 0, []byte{b}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Sim.Run()
+	want := [][]byte{{10}, {11}, {12}}
+	if len(rcvd) != len(want) {
+		t.Fatalf("received %v, want %v", rcvd, want)
+	}
+	for i := range want {
+		if !bytes.Equal(rcvd[i], want[i]) {
+			t.Fatalf("received %v, want %v (stale held packet leaked?)", rcvd, want)
+		}
+	}
 }

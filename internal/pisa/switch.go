@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"p4auth/internal/crypto"
+	"p4auth/internal/obs"
 )
 
 // CPUPort is the reserved port number for controller PacketIn/PacketOut
@@ -60,6 +61,9 @@ type Switch struct {
 
 	countMu  sync.Mutex
 	counters map[string]uint64
+	// mirror, when set, shadows the diagnostic counters into an obs
+	// registry (see MirrorCounters).
+	mirror atomic.Pointer[map[string]*obs.Counter]
 
 	rngMu sync.Mutex
 	rng   crypto.RandomSource
@@ -217,10 +221,33 @@ func (s *Switch) Counter(name string) uint64 {
 	return s.counters[name]
 }
 
+// dpCounters is every diagnostic counter bump may touch, so a mirror can
+// resolve them all up front.
+var dpCounters = []string{
+	"parse_error", "recirc_overflow", "dropped",
+	"no_egress", "egress_dropped", "reg_index_wrap",
+}
+
+// MirrorCounters mirrors the switch's diagnostic counters into an obs
+// registry under the given prefix (e.g. "dp.s1."). The mirror is resolved
+// once here; bump's hot path pays one atomic load and a map read.
+func (s *Switch) MirrorCounters(reg *obs.Registry, prefix string) {
+	mp := make(map[string]*obs.Counter, len(dpCounters))
+	for _, name := range dpCounters {
+		mp[name] = reg.Counter(prefix + name)
+	}
+	s.mirror.Store(&mp)
+}
+
 func (s *Switch) bump(name string) {
 	s.countMu.Lock()
 	s.counters[name]++
 	s.countMu.Unlock()
+	if mp := s.mirror.Load(); mp != nil {
+		if c := (*mp)[name]; c != nil {
+			c.Inc()
+		}
+	}
 }
 
 // --- packet processing ---

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"p4auth/internal/core"
+	"p4auth/internal/obs"
 	"p4auth/internal/p4rt"
 	"p4auth/internal/pisa"
 )
@@ -195,6 +196,30 @@ type Host struct {
 	hooks [numBoundaries]*Hooks
 	cache *responseCache
 	down  atomic.Bool
+	// obsv, when set, counts agent-level traffic (see Observe).
+	obsv atomic.Pointer[agentObs]
+}
+
+// agentObs is the agent's pre-resolved instrument set.
+type agentObs struct {
+	packetOuts, packetIns, cacheHits *obs.Counter
+	alertBadDigest, alertReplay      *obs.Counter
+}
+
+// Observe mirrors the agent's traffic counters into an obs registry under
+// the "agent.<name>." prefix: PacketOuts dispatched, PacketIns surfaced,
+// idempotency-cache hits, and alerts emitted by the data plane split by
+// reason. Resolution happens once here; the packet paths pay one atomic
+// load and pure counter increments.
+func (h *Host) Observe(reg *obs.Registry) {
+	p := "agent." + h.Name + "."
+	h.obsv.Store(&agentObs{
+		packetOuts:     reg.Counter(p + "packet_outs"),
+		packetIns:      reg.Counter(p + "packet_ins"),
+		cacheHits:      reg.Counter(p + "cache_hits"),
+		alertBadDigest: reg.Counter(p + "alert_bad_digest"),
+		alertReplay:    reg.Counter(p + "alert_replay"),
+	})
 }
 
 // NewHost assembles a host around a data plane. The agent's idempotency
@@ -432,9 +457,16 @@ func (h *Host) PacketOutBatchInto(datas [][]byte, io *IOResult) error {
 // (zero under a batch, where the dispatch is amortized by the caller).
 func (h *Host) packetOutOne(data []byte, io *IOResult, pinBase time.Duration) error {
 	io.Cost += time.Duration(len(data)) * h.Costs.PerByte
+	ao := h.obsv.Load()
+	if ao != nil {
+		ao.packetOuts.Inc()
+	}
 	seq, cacheable := h.cacheKey(data)
 	if cacheable {
 		if pins, hit := h.cache.lookup(seq, data); hit {
+			if ao != nil {
+				ao.cacheHits.Inc()
+			}
 			io.PacketIns = append(io.PacketIns, pins...)
 			for _, p := range pins {
 				io.Cost += time.Duration(len(p)) * h.Costs.PerByte
@@ -552,6 +584,19 @@ func (h *Host) runPipelineInto(data []byte, port int, io *IOResult, pinBase time
 		}
 		if pin != nil {
 			io.PacketIns = append(io.PacketIns, pin)
+			if ao := h.obsv.Load(); ao != nil {
+				ao.packetIns.Inc()
+				if hdrType, _, ok := core.PeekControl(pin); ok && hdrType == core.HdrAlert {
+					if mt, ok := core.PeekMsgType(pin); ok {
+						switch mt {
+						case core.AlertBadDigest:
+							ao.alertBadDigest.Inc()
+						case core.AlertReplay:
+							ao.alertReplay.Inc()
+						}
+					}
+				}
+			}
 		}
 	}
 	return nil

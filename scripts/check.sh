@@ -28,6 +28,18 @@ go test -race -count=1 -run 'TestChaosShort|TestChaosDeterminism' ./internal/net
 echo "== concurrency stress (-race, pipelined transport + sharded switch)"
 go test -race -count=1 ./internal/controller/ ./internal/pisa/
 
+# Coverage floor for the trust-boundary packages (core, crypto, obs):
+# new code in the codecs, primitives, or observability layer must come
+# with tests.
+echo "== coverage floor (core, crypto, obs >= 85%)"
+./scripts/cover.sh
+
+# Fuzz smoke: 10s of mutation per codec fuzz target over the checked-in
+# seed corpora. A crasher found here lands in testdata/fuzz and becomes
+# a permanent regression input.
+echo "== fuzz smoke (wire + persistence codecs)"
+./scripts/fuzz_smoke.sh
+
 # Bench smoke: the zero-allocation hot path must still complete through
 # the real benchmark harness (alloc budgets are gated by the tests above).
 echo "== bench smoke (AuthenticatedWrite)"

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Coverage floor for the trust-boundary packages: the codecs and key
+# machinery (internal/core), the primitives every key derives from
+# (internal/crypto), and the observability layer the post-mortems depend
+# on (internal/obs). A drop below the floor means new code shipped
+# without tests in exactly the places where silent breakage is
+# unacceptable.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+FLOOR="${COVER_FLOOR:-85}"
+fail=0
+for pkg in ./internal/core/ ./internal/crypto/ ./internal/obs/; do
+    line=$(go test -cover "$pkg" | tail -1)
+    echo "$line"
+    pct=$(printf '%s\n' "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    if [ -z "$pct" ]; then
+        echo "FAIL: no coverage reported for $pkg"
+        fail=1
+        continue
+    fi
+    if [ "$(awk -v p="$pct" -v f="$FLOOR" 'BEGIN{print (p+0 >= f+0) ? 1 : 0}')" != 1 ]; then
+        echo "FAIL: $pkg coverage $pct% is below the $FLOOR% floor"
+        fail=1
+    fi
+done
+exit $fail

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Fuzz smoke: run each codec fuzz target briefly (FUZZTIME per target,
+# default 10s) on top of its checked-in seed corpus. This is not the
+# long campaign — it catches regressions where a codec change breaks the
+# round-trip property on inputs one generation of mutation away from the
+# seeds. New crashers land in internal/core/testdata/fuzz/ and become
+# permanent regression inputs.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+for target in FuzzDecodeMessage FuzzMessageBufDecode FuzzDecodeJournalEntry \
+    FuzzDecodeJournalBatch FuzzDecodeSnapshot FuzzDecodeDeviceSnapshot; do
+    echo "-- $target ($FUZZTIME)"
+    go test -run '^$' -fuzz "^${target}\$" -fuzztime "$FUZZTIME" ./internal/core/
+done
