@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-save bench-smoke chaos stress cover fuzz-smoke
+.PHONY: check build vet test race bench bench-save bench-smoke chaos fabric-chaos stress cover fuzz-smoke
 
-check: build vet race chaos stress cover fuzz-smoke bench-smoke
+check: build vet race chaos fabric-chaos stress cover fuzz-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,12 @@ race:
 # cache so the crash/recovery invariants run on every gate.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaosShort|TestChaosDeterminism' ./internal/netsim/chaos/
+
+# Fabric chaos: seeded link flaps, two-way partitions, and one-sided
+# port-key rollovers against the self-healing DP-DP fabric; every run
+# must reconverge with paired keys and a reconciled audit trail.
+fabric-chaos:
+	$(GO) test -race -count=1 -run 'TestFabricShort|TestFabricDeterminism' ./internal/netsim/chaos/
 
 # Concurrency stress: pipelined writers vs concurrent key rollovers under
 # fault taps, plus the sharded-switch suite, with fresh interleavings.

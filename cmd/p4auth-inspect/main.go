@@ -19,6 +19,13 @@
 // audit trail of security events:
 //
 //	p4auth-inspect metrics
+//
+// And the self-healing fabric: a deterministic reference run over the
+// Fig. 3 HULA topology where a one-sided port-key rollover is injected
+// and the link supervisor detects, quarantines, repairs, and reinstates
+// the link — printing each link's health state and the transition trail:
+//
+//	p4auth-inspect links
 package main
 
 import (
@@ -41,6 +48,13 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "metrics" {
 		if err := runMetrics(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "links" {
+		if err := runLinks(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -137,6 +137,7 @@ type Controller struct {
 	health    map[string]*Health
 	clock     Clock
 	linkTaps  map[portKey]netsim.Tap
+	repairs   map[portKey]*repairFence
 
 	// Crash-safety state (EnableCrashSafety / Kill).
 	store    statestore.Store
@@ -160,6 +161,7 @@ func New(rng crypto.RandomSource) *Controller {
 		healthPol: DefaultHealthPolicy,
 		health:    make(map[string]*Health),
 		linkTaps:  make(map[portKey]netsim.Tap),
+		repairs:   make(map[portKey]*repairFence),
 		seedUses:  make(map[string]int),
 	}
 	c.ob.Store(newCtlObs(obs.NewObserver(0)))

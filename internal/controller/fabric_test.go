@@ -1,0 +1,222 @@
+package controller
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"p4auth/internal/core"
+)
+
+func TestLinksAccessor(t *testing.T) {
+	c, _, _ := twoSwitchFabric(t)
+	links := c.Links()
+	if len(links) != 1 {
+		t.Fatalf("got %d links, want 1", len(links))
+	}
+	l := links[0]
+	if l[0] != (LinkEnd{Switch: "s1", Port: 1}) || l[1] != (LinkEnd{Switch: "s2", Port: 1}) {
+		t.Fatalf("unexpected link %+v", l)
+	}
+}
+
+func TestPortKeySkewDetectAndRepair(t *testing.T) {
+	c, _, s2 := twoSwitchFabric(t)
+	if _, err := c.InitAllKeys(); err != nil {
+		t.Fatal(err)
+	}
+	if skew, err := c.PortKeySkew("s1", 1); err != nil || skew != nil {
+		t.Fatalf("aligned link reported skew=%v err=%v", skew, err)
+	}
+
+	// One-sided rollover: s2's install counter moves without its peer.
+	ver, err := s2.Host.SW.RegisterRead(core.RegVer, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Host.SW.RegisterWrite(core.RegVer, 1, ver+1); err != nil {
+		t.Fatal(err)
+	}
+
+	skew, err := c.PortKeySkew("s1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skew == nil {
+		t.Fatal("skew not detected")
+	}
+	if !errors.Is(skew, ErrKeySkew) {
+		t.Error("KeySkewError must unwrap to ErrKeySkew")
+	}
+	if !skew.PeerAhead() {
+		t.Errorf("peer ran ahead, PeerAhead()=false (%+v)", skew)
+	}
+	if skew.VerB != skew.VerA+1 {
+		t.Errorf("skew versions %d vs %d, want one apart", skew.VerA, skew.VerB)
+	}
+
+	// Both link-end namings share one fence.
+	e1, err := c.NextRepairEpoch("s1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c.NextRepairEpoch("s2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 != e1+1 {
+		t.Fatalf("epochs %d then %d: the two namings must draw from one fence", e1, e2)
+	}
+
+	if _, err := c.RepairPortKey("s1", 1, e2); err != nil {
+		t.Fatalf("repair failed: %v", err)
+	}
+	if skew, err := c.PortKeySkew("s1", 1); err != nil || skew != nil {
+		t.Fatalf("post-repair skew=%v err=%v", skew, err)
+	}
+	after, err := s2.Host.SW.RegisterRead(core.RegVer, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= ver+1 {
+		t.Fatalf("repair must roll forward past the skewed counter (pa_ver %d, skewed at %d)", after, ver+1)
+	}
+}
+
+func TestRepairEpochFencing(t *testing.T) {
+	c, _, _ := twoSwitchFabric(t)
+	if _, err := c.InitAllKeys(); err != nil {
+		t.Fatal(err)
+	}
+	e1, err := c.NextRepairEpoch("s1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c.NextRepairEpoch("s1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A superseded epoch is refused before anything is sent.
+	before := c.Stats().MessagesSent
+	if _, err := c.RepairPortKey("s1", 1, e1); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale epoch accepted: %v", err)
+	}
+	if got := c.Stats().MessagesSent; got != before {
+		t.Fatalf("fenced repair sent %d messages, want 0", got-before)
+	}
+
+	if _, err := c.RepairPortKey("s1", 1, e2); err != nil {
+		t.Fatalf("current epoch refused: %v", err)
+	}
+	// A committed epoch can never run again.
+	if _, err := c.RepairPortKey("s1", 1, e2); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("committed epoch re-admitted: %v", err)
+	}
+	if _, err := c.RepairPortKey("s1", 1, 0); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("epoch 0 admitted: %v", err)
+	}
+}
+
+// TestRepairFencedMidFlight races two repair generations: while the first
+// repair is between its protocol legs, a newer epoch is issued. The stale
+// attempt must stop at its next fence check — its remaining installs never
+// land — and the newer-epoch repair must then converge the link from the
+// half-installed state the abort left behind.
+func TestRepairFencedMidFlight(t *testing.T) {
+	c, s1, s2 := twoSwitchFabric(t)
+	if _, err := c.InitAllKeys(); err != nil {
+		t.Fatal(err)
+	}
+	e1, err := c.NextRepairEpoch("s1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The repair's traffic to s2 is: one pa_ver read, then the redirected
+	// ADHKD legs 3-4. Issuing a new epoch while legs 3-4 are on the wire
+	// (control taps run with the controller lock released) leaves the
+	// leg-5 install to s1 fenced off.
+	var toS2, e2 int32
+	if err := c.SetControlTaps("s2", func(data []byte) []byte {
+		if atomic.AddInt32(&toS2, 1) == 2 {
+			e, err := c.NextRepairEpoch("s2", 1)
+			if err != nil {
+				t.Errorf("mid-flight epoch issue: %v", err)
+			}
+			atomic.StoreInt32(&e2, int32(e))
+		}
+		return data
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.RepairPortKey("s1", 1, e1); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("overtaken repair finished with %v, want ErrStaleEpoch", err)
+	}
+	if err := c.SetControlTaps("s2", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The abort left the link one-sided: s2 installed (legs 3-4), s1 never
+	// saw leg 5.
+	v1, _ := s1.Host.SW.RegisterRead(core.RegVer, 1)
+	v2, _ := s2.Host.SW.RegisterRead(core.RegVer, 1)
+	if v2 != v1+1 {
+		t.Fatalf("expected half-installed link (s1=%d s2=%d)", v1, v2)
+	}
+
+	if _, err := c.RepairPortKey("s1", 1, uint64(atomic.LoadInt32(&e2))); err != nil {
+		t.Fatalf("successor repair failed: %v", err)
+	}
+	if skew, err := c.PortKeySkew("s1", 1); err != nil || skew != nil {
+		t.Fatalf("link not converged after successor repair: skew=%v err=%v", skew, err)
+	}
+}
+
+// TestPortKeyUpdateSkewTyped drives PortKeyUpdate into a pre-drifted link
+// whose repair fallback cannot complete, and asserts the failure carries
+// the typed skew cause so callers can tell "resync still owed" from a
+// plain transport timeout.
+func TestPortKeyUpdateSkewTyped(t *testing.T) {
+	c, _, s2 := twoSwitchFabric(t)
+	if _, err := c.InitAllKeys(); err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 2, FlowRetries: 1})
+
+	ver, err := s2.Host.SW.RegisterRead(core.RegVer, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Host.SW.RegisterWrite(core.RegVer, 1, ver+1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pass s1's first exchange (the drift-detecting pa_ver read), then
+	// black-hole the rest so the fallback init cannot run.
+	var n int32
+	if err := c.SetControlTaps("s1", func(data []byte) []byte {
+		if atomic.AddInt32(&n, 1) > 1 {
+			return nil
+		}
+		return data
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = c.PortKeyUpdate("s1", 1)
+	if err == nil {
+		t.Fatal("update on a dead drifted link succeeded")
+	}
+	if !errors.Is(err, ErrKeySkew) {
+		t.Fatalf("error %v does not carry ErrKeySkew", err)
+	}
+	var skew *KeySkewError
+	if !errors.As(err, &skew) {
+		t.Fatalf("error %v does not carry *KeySkewError", err)
+	}
+	if skew.A != "s1" || skew.B != "s2" || !skew.PeerAhead() {
+		t.Fatalf("skew detail %+v", skew)
+	}
+}

@@ -249,6 +249,20 @@ func (c *Controller) portKeyInitResilient(a string, pa int, b string, pb int) (K
 // the five legs of Fig. 14(c), with the response-less fifth leg confirmed
 // by reading the initiator's slot version and resent until it lands.
 func (c *Controller) tryPortKeyInit(ha *swHandle, pa int, hb *swHandle, pb int, res *KMPResult) error {
+	return c.tryPortKeyInitFenced(ha, pa, hb, pb, res, nil)
+}
+
+// tryPortKeyInitFenced is tryPortKeyInit gated by an optional epoch fence:
+// the fence runs before the realign phase, before each protocol leg, and
+// before every resend of the confirm loop, so a superseded repair attempt
+// stops where it stands instead of installing on top of its successor's
+// key state.
+func (c *Controller) tryPortKeyInitFenced(ha *swHandle, pa int, hb *swHandle, pb int, res *KMPResult, fence func() error) error {
+	if fence != nil {
+		if err := fence(); err != nil {
+			return err
+		}
+	}
 	verA, err := c.readPortVer(ha, pa, res)
 	if err != nil {
 		return err
@@ -258,8 +272,9 @@ func (c *Controller) tryPortKeyInit(ha *swHandle, pa int, hb *swHandle, pb int, 
 		return err
 	}
 	if verA != verB {
+		skew := &KeySkewError{A: ha.name, PA: pa, B: hb.name, PB: pb, VerA: verA, VerB: verB}
 		if err := c.realignPortSlots(ha, pa, verA, hb, pb, verB, res); err != nil {
-			return err
+			return wrapSkew(err, skew)
 		}
 		if int8(verB-verA) > 0 {
 			verA = verB
@@ -268,6 +283,11 @@ func (c *Controller) tryPortKeyInit(ha *swHandle, pa int, hb *swHandle, pb int, 
 		}
 	}
 	want := verA + 1
+	if fence != nil {
+		if err := fence(); err != nil {
+			return err
+		}
+	}
 
 	// Legs 1-2: portKeyInit to A; A answers with its ADHKD1.
 	req, err := ha.signedMessage(core.HdrKeyExch, core.MsgPortKeyInit, nil,
@@ -284,6 +304,11 @@ func (c *Controller) tryPortKeyInit(ha *swHandle, pa int, hb *swHandle, pb int, 
 		return fmt.Errorf("controller: %s: unexpected portKeyInit response", ha.name)
 	}
 	pk1, s1 := x.resp[0].Kx.PK, x.resp[0].Kx.Salt
+	if fence != nil {
+		if err := fence(); err != nil {
+			return err
+		}
+	}
 
 	// Legs 3-4: redirect ADHKD1 to B; the verified ADHKD2 response proves
 	// B installed (signed-before-install), so B needs no confirm read.
@@ -314,6 +339,11 @@ func (c *Controller) tryPortKeyInit(ha *swHandle, pa int, hb *swHandle, pb int, 
 	}
 	pol := c.retryPolicy()
 	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		if fence != nil {
+			if err := fence(); err != nil {
+				return err
+			}
+		}
 		if wait := pol.backoff(attempt); wait > 0 {
 			res.RTT += wait
 			c.mu.Lock()
@@ -374,9 +404,12 @@ func (c *Controller) portKeyUpdateResilient(a string, pa int) (KMPResult, error)
 	}
 	if verA0 != verB0 {
 		// Drifted before we even started: no shared port key exists for
-		// the DP-DP legs to authenticate under. Rebuild via init.
+		// the DP-DP legs to authenticate under. Rebuild via init, and if
+		// even that fails surface the skew as a typed cause — the caller
+		// must resync (full init), not merely retry the update.
+		skew := &KeySkewError{A: a, PA: pa, B: peer.sw, PB: pb, VerA: verA0, VerB: verB0}
 		err = c.tryPortKeyInit(ha, pa, hb, pb, &res)
-		return res, err
+		return res, wrapSkew(err, skew)
 	}
 	want := verA0 + 1
 
@@ -418,9 +451,11 @@ func (c *Controller) portKeyUpdateResilient(a string, pa int) (KMPResult, error)
 		default:
 			// Partial: one side installed, the other did not (a lost
 			// ADHKD2 leg). The shared key is gone; realign the counters
-			// and rebuild with a full init.
+			// and rebuild with a full init. A failure keeps the skew as
+			// its typed cause so callers know a resync is still owed.
+			skew := &KeySkewError{A: a, PA: pa, B: peer.sw, PB: pb, VerA: verA, VerB: verB}
 			err = c.tryPortKeyInit(ha, pa, hb, pb, &res)
-			return res, err
+			return res, wrapSkew(err, skew)
 		}
 	}
 	return res, fmt.Errorf("%w: %s: port %d update never took effect", ErrTimeout, ha.name, pa)

@@ -63,6 +63,7 @@ const (
 	CauseLocalUpdate = "local-update"
 	CausePortInit    = "port-init"
 	CausePortUpdate  = "port-update"
+	CausePortRepair  = "port-repair"
 	// WAL settle outcomes.
 	CauseWALApplied   = "applied"
 	CauseWALFailed    = "failed"

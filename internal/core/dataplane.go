@@ -22,6 +22,8 @@ const (
 	RegEgKeysV1 = "pa_eg_keys_v1" // egress key table, version 1
 	RegEgVer    = "pa_eg_ver"     // egress current version per port
 	RegEgSeq    = "pa_eg_seq"     // outgoing probe seq per port
+	RegFbOK     = "pa_fb_ok"      // accepted feedback per ingress port (LinkTelemetry)
+	RegFbBad    = "pa_fb_bad"     // rejected feedback per ingress port (LinkTelemetry)
 
 	TableRegMap   = "pa_reg_map"
 	ActionRegMiss = "pa_reg_miss"
@@ -61,6 +63,7 @@ const (
 	mEncLo    = "pa_enc_lo"
 	mEncHi    = "pa_enc_hi"
 	mEncKS    = "pa_enc_ks"
+	mFbOld    = "pa_fb_old"
 )
 
 // AuxPayload registers a host-protocol header (e.g. a HULA probe) as a
@@ -86,6 +89,12 @@ type Integration struct {
 	// hardware packet generator); packets from it bypass verification and
 	// get signed on egress. 0 disables.
 	GeneratorPort int
+	// LinkTelemetry adds per-ingress-port feedback verification counters
+	// (pa_fb_ok / pa_fb_bad, exposed for authenticated reads) — the
+	// data-plane evidence a link-health supervisor polls to tell a quiet
+	// link from one shedding forged or stale feedback. Opt-in so baseline
+	// builds keep the paper's Table II resource footprint.
+	LinkTelemetry bool
 }
 
 func mf(name string) pisa.FieldRef { return pisa.F(pisa.MetaHeader, name) }
@@ -223,6 +232,9 @@ func AddToProgram(prog *pisa.Program, cfg Config, integ Integration) error {
 			pisa.FieldDef{Name: mEncKS, Width: 64},
 		)
 	}
+	if integ.LinkTelemetry {
+		prog.Metadata = append(prog.Metadata, pisa.FieldDef{Name: mFbOld, Width: 32})
+	}
 
 	// Registers. Slot space is 0 (local) plus ports 1..Ports.
 	n := cfg.Ports + 1
@@ -242,6 +254,14 @@ func AddToProgram(prog *pisa.Program, cfg Config, integ Integration) error {
 		&pisa.RegisterDef{Name: RegEgVer, Width: 8, Entries: n},
 		&pisa.RegisterDef{Name: RegEgSeq, Width: 32, Entries: n},
 	)
+	if integ.LinkTelemetry {
+		// Per-ingress-port feedback verdict counters, slot-indexed like the
+		// key tables (0 = controller channel, 1..Ports = network ports).
+		prog.Registers = append(prog.Registers,
+			&pisa.RegisterDef{Name: RegFbOK, Width: 32, Entries: n},
+			&pisa.RegisterDef{Name: RegFbBad, Width: 32, Entries: n},
+		)
+	}
 
 	// Register-map table and per-register actions (§VII, Fig. 15). The
 	// alert counter is always exposed for authenticated window resets, and
@@ -252,7 +272,11 @@ func AddToProgram(prog *pisa.Program, cfg Config, integ Integration) error {
 	// controller). The egress counter stays in lockstep with the ingress
 	// one by construction (both bump once per install pass), so it needs no
 	// exposure — and cannot have any, being an egress-pipeline register.
-	if err := addRegMap(prog, append(append([]string(nil), integ.Exposed...), RegAlert, RegVer, RegSeq, RegSeqOut)); err != nil {
+	regMapped := append(append([]string(nil), integ.Exposed...), RegAlert, RegVer, RegSeq, RegSeqOut)
+	if integ.LinkTelemetry {
+		regMapped = append(regMapped, RegFbOK, RegFbBad)
+	}
+	if err := addRegMap(prog, regMapped); err != nil {
 		return err
 	}
 
@@ -434,6 +458,7 @@ func FactoryReset(sw *pisa.Switch, cfg Config) error {
 	for _, name := range []string{
 		RegKeysV0, RegKeysV1, RegVer, RegSeq, RegSeqOut, RegAlert,
 		RegKxR, RegKxS, RegEgKeysV0, RegEgKeysV1, RegEgVer, RegEgSeq,
+		RegFbOK, RegFbBad,
 	} {
 		def := prog.Register(name)
 		if def == nil {
@@ -545,13 +570,24 @@ func buildVerifyDispatch(prog *pisa.Program, cfg Config, integ Integration, alg 
 
 	// Alert path (shared by digest and replay failures): threshold-capped
 	// authenticated alert to the controller (§VIII DoS mitigation).
-	alert := []pisa.Op{
+	var alert []pisa.Op
+	if integ.LinkTelemetry {
+		// Charge the failed feedback to its ingress port before the alert
+		// threshold can swallow it — the supervisor's evidence must count
+		// every rejection, not just the alerted ones.
+		for _, aux := range integ.Aux {
+			alert = append(alert, pisa.If(pisa.Valid(aux.Header), []pisa.Op{
+				pisa.RegRMW(mf(mFbOld), RegFbBad, pisa.R(mf(mKeyIdx)), pisa.RMWAdd, pisa.C(1)),
+			}))
+		}
+	}
+	alert = append(alert,
 		pisa.RegRMW(mf(mAlertOld), RegAlert, pisa.C(0), pisa.RMWAdd, pisa.C(1)),
 		pisa.If(pisa.Lt(pisa.R(mf(mAlertOld)), pisa.C(cfg.AlertThreshold)),
 			buildAlertEmit(cfg, integ, alg),
 			[]pisa.Op{pisa.Drop()},
 		),
-	}
+	)
 	ops = append(ops, pisa.If(pisa.Ne(pisa.R(mf(mAlertRsn)), pisa.C(0)), alert))
 	return ops, nil
 }
@@ -582,9 +618,12 @@ func buildDispatch(cfg Config, integ Integration, alg pisa.HashAlg) []pisa.Op {
 		pisa.If(pisa.Valid(HdrKx), buildKxDispatch(cfg, alg)),
 	}
 	for _, aux := range integ.Aux {
-		ops = append(ops, pisa.If(pisa.Valid(aux.Header), []pisa.Op{
-			pisa.Set(mf(MAuthOK), pisa.C(1)),
-		}))
+		accepted := []pisa.Op{pisa.Set(mf(MAuthOK), pisa.C(1))}
+		if integ.LinkTelemetry {
+			accepted = append(accepted,
+				pisa.RegRMW(mf(mFbOld), RegFbOK, pisa.R(mf(mKeyIdx)), pisa.RMWAdd, pisa.C(1)))
+		}
+		ops = append(ops, pisa.If(pisa.Valid(aux.Header), accepted))
 	}
 	return ops
 }

@@ -1,0 +1,387 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"p4auth/internal/obs"
+)
+
+// rig is a scripted world for one supervised link: a manual clock, a
+// settable evidence source, and recorders for every hook effect.
+type rig struct {
+	t       *testing.T
+	sup     *Supervisor
+	now     time.Duration
+	ev      Evidence
+	evErr   error
+	blocked bool
+	repairs []uint64
+	repErr  error
+	o       *obs.Observer
+	id      LinkID
+}
+
+func newRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	r := &rig{t: t, o: obs.NewObserver(0), id: LinkID{A: "s1", PA: 1, B: "s2", PB: 1}}
+	hooks := Hooks{
+		Collect: func(LinkID) (Evidence, error) { return r.ev, r.evErr },
+		Block:   func(LinkID) error { r.blocked = true; return nil },
+		Unblock: func(LinkID) error { r.blocked = false; return nil },
+		Repair: func(_ LinkID, epoch uint64) error {
+			r.repairs = append(r.repairs, epoch)
+			return r.repErr
+		},
+	}
+	sup, err := New(cfg, func() time.Duration { return r.now }, hooks, r.o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup.Register(r.id)
+	r.sup = sup
+	return r
+}
+
+// tick advances the clock by d and runs one supervision window.
+func (r *rig) tick(d time.Duration) {
+	r.now += d
+	r.sup.Tick()
+}
+
+func (r *rig) state() State {
+	snap := r.sup.Snapshot()
+	if len(snap) != 1 {
+		r.t.Fatalf("snapshot has %d links", len(snap))
+	}
+	return snap[0].State
+}
+
+func (r *rig) wantState(s State) {
+	r.t.Helper()
+	if got := r.state(); got != s {
+		r.t.Fatalf("state %v, want %v\n%v", got, s, r.sup.Snapshot())
+	}
+}
+
+// feed sets cumulative evidence counters (the rig owns the totals).
+func (r *rig) feed(okAdd, badAdd uint64) {
+	r.ev.OKFeedback += okAdd
+	r.ev.BadFeedback += badAdd
+}
+
+func cfgFast() Config {
+	return Config{
+		SuspectBad:        1,
+		QuarantineStrikes: 2,
+		SilenceWindows:    3,
+		CleanWindows:      2,
+		ProbationWindows:  2,
+		HoldDown:          5 * time.Millisecond,
+		RepairBackoff:     2 * time.Millisecond,
+		RepairBackoffMax:  8 * time.Millisecond,
+	}
+}
+
+const w = time.Millisecond // one supervision window
+
+func TestHealthySuspectRecovery(t *testing.T) {
+	r := newRig(t, cfgFast())
+	r.feed(10, 0)
+	r.tick(w) // baseline window
+	r.wantState(Healthy)
+
+	// One bad window: Suspect, still unblocked.
+	r.feed(10, 1)
+	r.tick(w)
+	r.wantState(Suspect)
+	if r.blocked {
+		t.Fatal("suspect link must stay in service")
+	}
+
+	// Two clean windows: back to Healthy.
+	r.feed(10, 0)
+	r.tick(w)
+	r.feed(10, 0)
+	r.tick(w)
+	r.wantState(Healthy)
+}
+
+func TestPersistentBadDigestsQuarantineAndRepair(t *testing.T) {
+	r := newRig(t, cfgFast())
+	r.feed(10, 0)
+	r.tick(w)
+	// Two consecutive bad windows: Suspect then Quarantined + blocked.
+	r.feed(10, 2)
+	r.tick(w)
+	r.wantState(Suspect)
+	r.feed(10, 2)
+	r.tick(w)
+	r.wantState(Quarantined)
+	if !r.blocked {
+		t.Fatal("quarantine must block the link")
+	}
+	if len(r.repairs) != 0 {
+		t.Fatal("repair before hold-down expiry")
+	}
+
+	// Hold-down (5ms) gates the repair: 4 windows in, still waiting.
+	r.feed(10, 0)
+	r.tick(4 * w)
+	r.wantState(Quarantined)
+
+	// Past hold-down: repair runs under epoch 1 and probation starts.
+	r.feed(10, 0)
+	r.tick(2 * w)
+	r.wantState(Recovering)
+	if len(r.repairs) != 1 || r.repairs[0] != 1 {
+		t.Fatalf("repairs %v, want [1]", r.repairs)
+	}
+	if r.blocked {
+		t.Fatal("successful repair must unblock")
+	}
+
+	// Two clean flowing windows pass probation.
+	r.feed(10, 0)
+	r.tick(w)
+	r.feed(10, 0)
+	r.tick(w)
+	r.wantState(Healthy)
+	if !r.sup.AllHealthy() {
+		t.Fatal("AllHealthy disagrees with snapshot")
+	}
+}
+
+func TestSilenceQuarantines(t *testing.T) {
+	r := newRig(t, cfgFast())
+	r.feed(10, 0)
+	r.tick(w)
+	// 3 silent windows: Suspect. 6 total: Quarantined.
+	for i := 0; i < 3; i++ {
+		r.tick(w)
+	}
+	r.wantState(Suspect)
+	for i := 0; i < 3; i++ {
+		r.tick(w)
+	}
+	r.wantState(Quarantined)
+}
+
+func TestKeySkewQuarantinesImmediately(t *testing.T) {
+	r := newRig(t, cfgFast())
+	r.feed(10, 0)
+	r.tick(w)
+	r.wantState(Healthy)
+	r.feed(10, 0)
+	r.ev.KeySkew = true
+	r.tick(w)
+	r.wantState(Quarantined)
+	events := r.o.Audit.ByType(obs.EvLinkState)
+	last := events[len(events)-1]
+	if last.Cause != CauseKeySkew {
+		t.Fatalf("cause %q, want %q", last.Cause, CauseKeySkew)
+	}
+	from, to := TransitionPair(last.Value)
+	if from != Healthy || to != Quarantined {
+		t.Fatalf("transition %v->%v, want healthy->quarantined", from, to)
+	}
+}
+
+func TestRepairFailureBacksOffDeterministically(t *testing.T) {
+	r := newRig(t, cfgFast())
+	r.feed(10, 0)
+	r.tick(w)
+	r.ev.KeySkew = true
+	r.tick(w) // quarantined at t=2ms, repair armed for t+5ms
+	r.repErr = errors.New("boom")
+
+	var repairTimes []time.Duration
+	seen := 0
+	// Walk 60 windows; record the virtual time of every repair attempt.
+	for i := 0; i < 60; i++ {
+		r.tick(w)
+		if len(r.repairs) > seen {
+			seen = len(r.repairs)
+			repairTimes = append(repairTimes, r.now)
+		}
+	}
+	if len(repairTimes) < 4 {
+		t.Fatalf("only %d repair attempts in 60 windows", len(repairTimes))
+	}
+	// Gaps between attempts follow the doubling backoff (2,4,8,8... ms),
+	// quantized up to the window cadence.
+	wantGaps := []time.Duration{2 * w, 4 * w, 8 * w, 8 * w}
+	for i := 1; i < len(repairTimes) && i <= len(wantGaps); i++ {
+		if gap := repairTimes[i] - repairTimes[i-1]; gap != wantGaps[i-1] {
+			t.Errorf("gap %d = %v, want %v (times %v)", i, gap, wantGaps[i-1], repairTimes)
+		}
+	}
+	if r.state() != Quarantined {
+		t.Fatalf("failing repairs must hold the link quarantined, got %v", r.state())
+	}
+
+	// The fault clears: next attempt succeeds and probation runs.
+	r.repErr = nil
+	r.ev.KeySkew = false
+	for i := 0; i < 12 && r.state() != Recovering; i++ {
+		r.tick(w)
+	}
+	r.wantState(Recovering)
+	r.feed(10, 0)
+	r.tick(w)
+	r.feed(10, 0)
+	r.tick(w)
+	r.wantState(Healthy)
+}
+
+func TestStaleRepairAuditedDistinctly(t *testing.T) {
+	r := newRig(t, cfgFast())
+	r.feed(10, 0)
+	r.tick(w)
+	r.ev.KeySkew = true
+	r.tick(w)
+	r.repErr = fmt.Errorf("wrapped: %w", ErrStaleRepair)
+	for i := 0; i < 10 && len(r.repairs) == 0; i++ {
+		r.tick(w)
+	}
+	if len(r.repairs) == 0 {
+		t.Fatal("no repair attempted")
+	}
+	found := false
+	for _, e := range r.o.Audit.ByType(obs.EvLinkState) {
+		if e.Cause == CauseRepairStale {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("stale repair not audited with its own cause")
+	}
+	if v := r.o.Metrics.Counter("fabric.repairs_stale").Load(); v == 0 {
+		t.Fatal("fabric.repairs_stale not counted")
+	}
+}
+
+func TestProbationRelapse(t *testing.T) {
+	r := newRig(t, cfgFast())
+	r.feed(10, 0)
+	r.tick(w)
+	r.ev.KeySkew = true
+	r.tick(w)
+	r.ev.KeySkew = false
+	for i := 0; i < 10 && r.state() != Recovering; i++ {
+		r.tick(w)
+	}
+	r.wantState(Recovering)
+	epochBefore := r.sup.Snapshot()[0].Epoch
+
+	// A rejection during probation re-quarantines and draws a new epoch.
+	r.feed(10, 1)
+	r.tick(w)
+	r.wantState(Quarantined)
+	if !r.blocked {
+		t.Fatal("relapse must re-block")
+	}
+	if e := r.sup.Snapshot()[0].Epoch; e != epochBefore+1 {
+		t.Fatalf("relapse epoch %d, want %d", e, epochBefore+1)
+	}
+}
+
+func TestAuditCompleteness(t *testing.T) {
+	r := newRig(t, cfgFast())
+	r.feed(10, 0)
+	r.tick(w)
+	// Drive a few full cycles of trouble and recovery.
+	for cycle := 0; cycle < 3; cycle++ {
+		r.ev.KeySkew = true
+		r.tick(w)
+		r.ev.KeySkew = false
+		for i := 0; i < 12 && r.state() != Healthy; i++ {
+			r.feed(10, 0)
+			r.tick(w)
+		}
+		r.wantState(Healthy)
+	}
+	transitions := r.o.Metrics.Counter("fabric.transitions").Load()
+	events := r.o.Audit.ByType(obs.EvLinkState)
+	if uint64(len(events)) != transitions {
+		t.Fatalf("%d transitions but %d audit events", transitions, len(events))
+	}
+	if r.o.Audit.Evicted() != 0 {
+		t.Fatal("audit ring evicted events mid-test")
+	}
+	for _, e := range events {
+		if e.Cause == "" || e.Actor != r.id.String() {
+			t.Fatalf("malformed audit event %+v", e)
+		}
+	}
+	// Gauges agree with the final all-healthy state.
+	if v := r.o.Metrics.Gauge("fabric.links_healthy").Load(); v != 1 {
+		t.Fatalf("links_healthy gauge %d, want 1", v)
+	}
+	for _, name := range []string{"fabric.links_suspect", "fabric.links_quarantined", "fabric.links_recovering"} {
+		if v := r.o.Metrics.Gauge(name).Load(); v != 0 {
+			t.Fatalf("%s gauge %d, want 0", name, v)
+		}
+	}
+}
+
+func TestCounterResetTolerated(t *testing.T) {
+	r := newRig(t, cfgFast())
+	r.ev = Evidence{OKFeedback: 1000, BadFeedback: 40}
+	r.tick(w) // baseline
+	r.wantState(Healthy)
+	// Switch reboot: counters restart near zero. The delta must not be
+	// charged as ~2^64 rejections, and small fresh counts apply as-is.
+	r.ev = Evidence{OKFeedback: 5, BadFeedback: 0}
+	r.tick(w)
+	r.wantState(Healthy)
+}
+
+func TestNormalizeAndRegisterIdempotent(t *testing.T) {
+	r := newRig(t, cfgFast())
+	// Same physical link named from the other end: no second record.
+	r.sup.Register(LinkID{A: "s2", PA: 1, B: "s1", PB: 1})
+	if n := len(r.sup.Snapshot()); n != 1 {
+		t.Fatalf("%d links after re-register, want 1", n)
+	}
+	id := LinkID{A: "z", PA: 9, B: "a", PB: 2}.Normalize()
+	if id.A != "a" || id.PA != 2 || id.B != "z" || id.PB != 9 {
+		t.Fatalf("normalize failed: %+v", id)
+	}
+	if id.String() != "a:2<->z:9" {
+		t.Fatalf("label %q", id.String())
+	}
+}
+
+func TestExternalEpochSource(t *testing.T) {
+	r := newRig(t, cfgFast())
+	next := uint64(100)
+	r.sup.SetEpochSource(func(LinkID) (uint64, error) { next++; return next, nil })
+	r.feed(10, 0)
+	r.tick(w)
+	r.ev.KeySkew = true
+	r.tick(w)
+	if e := r.sup.Snapshot()[0].Epoch; e != 101 {
+		t.Fatalf("epoch %d, want 101 from external source", e)
+	}
+	r.ev.KeySkew = false
+	for i := 0; i < 10 && len(r.repairs) == 0; i++ {
+		r.tick(w)
+	}
+	if len(r.repairs) != 1 || r.repairs[0] != 101 {
+		t.Fatalf("repairs %v, want [101]", r.repairs)
+	}
+}
+
+func TestCollectFailureCountsAsSilence(t *testing.T) {
+	r := newRig(t, cfgFast())
+	r.feed(10, 0)
+	r.tick(w)
+	r.evErr = errors.New("unreachable")
+	for i := 0; i < 6; i++ {
+		r.tick(w)
+	}
+	r.wantState(Quarantined)
+}

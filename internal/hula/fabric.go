@@ -1,0 +1,106 @@
+package hula
+
+// Wiring between the pure fabric.Supervisor state machines and a deployed
+// HULA network: evidence comes from authenticated C-DP reads of the
+// per-port feedback verdict counters and the port-key version registers,
+// blocking writes the hula_port_block degraded-routing mask on both link
+// ends, and repair delegates to the controller's epoch-fenced
+// RepairPortKey.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"p4auth/internal/controller"
+	"p4auth/internal/core"
+	"p4auth/internal/fabric"
+)
+
+// NewSupervisor builds a link-health supervisor over every switch-switch
+// adjacency the controller knows, wired to this network's data plane and
+// clocked by the simulator. Call Tick (or ScheduleSupervisor) to run it.
+func (n *Network) NewSupervisor(cfg fabric.Config) (*fabric.Supervisor, error) {
+	if !n.Secure {
+		return nil, fmt.Errorf("hula: link supervision requires a secure fabric")
+	}
+	hooks := fabric.Hooks{
+		Collect: n.collectLinkEvidence,
+		Block:   func(l fabric.LinkID) error { return n.setPortBlock(l, 1) },
+		Unblock: func(l fabric.LinkID) error { return n.setPortBlock(l, 0) },
+		Repair: func(l fabric.LinkID, epoch uint64) error {
+			_, err := n.Ctrl.RepairPortKey(l.A, l.PA, epoch)
+			if err != nil && errors.Is(err, controller.ErrStaleEpoch) {
+				return fmt.Errorf("%w: %v", fabric.ErrStaleRepair, err)
+			}
+			return err
+		},
+	}
+	sup, err := fabric.New(cfg, n.Net.Sim.Now, hooks, n.Ctrl.Observer())
+	if err != nil {
+		return nil, err
+	}
+	sup.SetEpochSource(func(l fabric.LinkID) (uint64, error) {
+		return n.Ctrl.NextRepairEpoch(l.A, l.PA)
+	})
+	for _, link := range n.Ctrl.Links() {
+		sup.Register(fabric.LinkID{
+			A: link[0].Switch, PA: link[0].Port,
+			B: link[1].Switch, PB: link[1].Port,
+		})
+	}
+	return sup, nil
+}
+
+// collectLinkEvidence sums both ends' feedback verdict counters for the
+// link's ports and checks key-version alignment, all over the
+// authenticated C-DP channel.
+func (n *Network) collectLinkEvidence(l fabric.LinkID) (fabric.Evidence, error) {
+	var ev fabric.Evidence
+	for _, end := range [2]struct {
+		sw   string
+		port int
+	}{{l.A, l.PA}, {l.B, l.PB}} {
+		ok, _, err := n.Ctrl.ReadRegister(end.sw, core.RegFbOK, uint32(end.port))
+		if err != nil {
+			return ev, err
+		}
+		bad, _, err := n.Ctrl.ReadRegister(end.sw, core.RegFbBad, uint32(end.port))
+		if err != nil {
+			return ev, err
+		}
+		ev.OKFeedback += ok
+		ev.BadFeedback += bad
+	}
+	skew, err := n.Ctrl.PortKeySkew(l.A, l.PA)
+	if err != nil {
+		return ev, err
+	}
+	ev.KeySkew = skew != nil
+	return ev, nil
+}
+
+// setPortBlock writes the degraded-routing mask for the link's port on
+// both ends (authenticated writes; the data plane enforces the mask).
+func (n *Network) setPortBlock(l fabric.LinkID, v uint64) error {
+	if _, err := n.Ctrl.WriteRegister(l.A, RegPortBlock, uint32(l.PA), v); err != nil {
+		return err
+	}
+	_, err := n.Ctrl.WriteRegister(l.B, RegPortBlock, uint32(l.PB), v)
+	return err
+}
+
+// ScheduleSupervisor runs sup.Tick every period of virtual time until the
+// given horizon (same scheduling pattern as ScheduleProbes).
+func (n *Network) ScheduleSupervisor(sup *fabric.Supervisor, period, until time.Duration) {
+	var tick func()
+	next := period
+	tick = func() {
+		sup.Tick()
+		next += period
+		if next <= until {
+			n.Net.Sim.At(next, tick)
+		}
+	}
+	n.Net.Sim.At(period, tick)
+}

@@ -54,6 +54,13 @@ const (
 	RegFlowletTS  = "hula_flowlet_ts"
 	RegEgUtil     = "hula_eg_util"
 	RegEgLast     = "hula_eg_last"
+	// RegPortBlock is the degraded-routing mask, one entry per port,
+	// written by the fabric supervisor over the authenticated C-DP
+	// channel: a nonzero entry quarantines the port. Probes arriving on a
+	// blocked port are discarded before they can touch best-path state
+	// (fail-closed for authentication), and flowlets pinned to a blocked
+	// hop fall back to the current best hop (fail-open for reachability).
+	RegPortBlock = "hula_port_block"
 )
 
 // Params configures one HULA switch.
@@ -144,6 +151,8 @@ func BuildProgram(p Params) (*pisa.Program, core.Config, error) {
 			{Name: "h_delta", Width: 48},
 			{Name: "h_shift", Width: 16},
 			{Name: "h_util", Width: 32},
+			{Name: "h_blk", Width: 8},
+			{Name: "h_bhblk", Width: 8},
 		},
 		Parser: []pisa.ParserState{
 			{Name: pisa.ParserStart, Extract: core.HdrPType,
@@ -178,6 +187,7 @@ func BuildProgram(p Params) (*pisa.Program, core.Config, error) {
 			{Name: RegFlowletTS, Width: 48, Entries: p.FlowletSlots},
 			{Name: RegEgUtil, Width: 32, Entries: p.Ports + 2},
 			{Name: RegEgLast, Width: 48, Entries: p.Ports + 2},
+			{Name: RegPortBlock, Width: 8, Entries: p.Ports + 2},
 		},
 	}
 
@@ -194,9 +204,10 @@ func BuildProgram(p Params) (*pisa.Program, core.Config, error) {
 	cfg := core.DefaultConfig(p.Ports, core.DigestHalfSipHash)
 	if p.Secure {
 		if err := core.AddToProgram(prog, cfg, core.Integration{
-			Exposed:       []string{RegBestUtil, RegBestHop},
+			Exposed:       []string{RegBestUtil, RegBestHop, RegPortBlock},
 			Aux:           []core.AuxPayload{{Header: HdrProbe, ParserState: "hula_probe_state"}},
 			GeneratorPort: p.GeneratorPort,
+			LinkTelemetry: true,
 		}); err != nil {
 			return nil, cfg, err
 		}
@@ -250,6 +261,10 @@ func buildIngress(p Params) []pisa.Op {
 		pisa.If(pisa.Eq(pisa.R(m("h_bh")), pisa.C(0)), []pisa.Op{pisa.Set(m("h_accept"), pisa.C(1))}),
 		// Stale best path (failover, e.g. a blocked compromised link).
 		pisa.If(pisa.Gt(pisa.R(m("h_age")), pisa.C(p.FailTimeoutNs)), []pisa.Op{pisa.Set(m("h_accept"), pisa.C(1))}),
+		// Quarantined best hop: any surviving path beats it immediately,
+		// without waiting for the failure timeout to age it out.
+		pisa.RegRead(m("h_bhblk"), RegPortBlock, pisa.R(m("h_bh"))),
+		pisa.If(pisa.Gt(pisa.R(m("h_bhblk")), pisa.C(0)), []pisa.Op{pisa.Set(m("h_accept"), pisa.C(1))}),
 		pisa.If(pisa.Eq(pisa.R(m("h_accept")), pisa.C(1)), []pisa.Op{
 			pisa.RegWrite(RegBestUtil, pisa.R(probe("dst")), pisa.R(probe("util"))),
 			pisa.RegWrite(RegBestHop, pisa.R(probe("dst")), pisa.R(m(pisa.MetaIngressPort))),
@@ -257,13 +272,20 @@ func buildIngress(p Params) []pisa.Op {
 		}),
 	}
 	probeGate := pisa.Valid(HdrProbe)
+	// Degraded routing, fail-closed half: a probe arriving on a
+	// quarantined port is discarded before it can update best-path state
+	// or flood onward, so a link under repair cannot advertise itself.
+	guarded := []pisa.Op{
+		pisa.RegRead(m("h_blk"), RegPortBlock, pisa.R(m(pisa.MetaIngressPort))),
+		pisa.If(pisa.Eq(pisa.R(m("h_blk")), pisa.C(0)), probeOps),
+	}
 	var probeBlock pisa.Op
 	if p.Secure {
 		probeBlock = pisa.If(probeGate, []pisa.Op{
-			pisa.If(pisa.Eq(pisa.R(m(core.MAuthOK)), pisa.C(1)), probeOps),
+			pisa.If(pisa.Eq(pisa.R(m(core.MAuthOK)), pisa.C(1)), guarded),
 		})
 	} else {
-		probeBlock = pisa.If(probeGate, probeOps)
+		probeBlock = pisa.If(probeGate, guarded)
 	}
 
 	// --- data path: flowlet routing along the best hop ---
@@ -280,6 +302,11 @@ func buildIngress(p Params) []pisa.Op {
 				pisa.Set(m("h_nh"), pisa.R(m("h_fh"))),
 				pisa.If(pisa.Eq(pisa.R(m("h_fh")), pisa.C(0)), []pisa.Op{pisa.Set(m("h_nh"), pisa.R(m("h_bh")))}),
 				pisa.If(pisa.Gt(pisa.R(m("h_gap")), pisa.C(p.FlowletGapNs)), []pisa.Op{pisa.Set(m("h_nh"), pisa.R(m("h_bh")))}),
+				// Degraded routing, fail-open half: a flowlet pinned to a
+				// quarantined hop is re-steered to the best hop mid-flowlet
+				// (reachability wins for data; only feedback fails closed).
+				pisa.RegRead(m("h_blk"), RegPortBlock, pisa.R(m("h_nh"))),
+				pisa.If(pisa.Gt(pisa.R(m("h_blk")), pisa.C(0)), []pisa.Op{pisa.Set(m("h_nh"), pisa.R(m("h_bh")))}),
 				pisa.RegWrite(RegFlowletHop, pisa.R(m("h_idx")), pisa.R(m("h_nh"))),
 				pisa.RegWrite(RegFlowletTS, pisa.R(m("h_idx")), now),
 				pisa.Forward(pisa.R(m("h_nh"))),
@@ -336,8 +363,11 @@ func NewSwitch(name string, p Params, randSeed uint64) (*Switch, error) {
 			return nil, err
 		}
 		// Expose the HULA state for authenticated C-DP reads (the paper's
-		// Table I visibility into best-path state).
-		if err := core.InstallRegMap(sw, host.Info, []string{RegBestUtil, RegBestHop}); err != nil {
+		// Table I visibility into best-path state), the degraded-routing
+		// mask for supervisor writes, and the per-port feedback verdict
+		// counters the link supervisor polls.
+		exposed := []string{RegBestUtil, RegBestHop, RegPortBlock, core.RegFbOK, core.RegFbBad}
+		if err := core.InstallRegMap(sw, host.Info, exposed); err != nil {
 			return nil, err
 		}
 	}

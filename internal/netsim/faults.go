@@ -165,6 +165,52 @@ func ReorderTap() Tap {
 	return t
 }
 
+// NewLinkFlapTap returns a tap emulating a flapping link: it passes a
+// seeded, deterministic run of packets (1..maxUp), then drops a seeded
+// run (1..maxDown), and repeats with fresh draws — so consecutive flap
+// cycles differ but the whole schedule replays bit-for-bit from the
+// seed. Composable with loss/corrupt taps via ChainTaps; install the
+// same constructor arguments on both directions of a link (with
+// distinct seeds) to flap it symmetrically.
+func NewLinkFlapTap(maxUp, maxDown int, seed uint64) (Tap, error) {
+	if maxUp < 1 || maxDown < 1 {
+		return nil, fmt.Errorf("netsim: flap phases must be >= 1 packet (got up=%d down=%d)", maxUp, maxDown)
+	}
+	state := seed
+	draw := func(max int) int {
+		state = splitmix(state)
+		return 1 + int(state%uint64(max))
+	}
+	up := true
+	left := draw(maxUp)
+	return func(data []byte) []byte {
+		pass := up
+		left--
+		if left == 0 {
+			up = !up
+			if up {
+				left = draw(maxUp)
+			} else {
+				left = draw(maxDown)
+			}
+		}
+		if pass {
+			return data
+		}
+		return nil
+	}, nil
+}
+
+// LinkFlapTap is NewLinkFlapTap for static configurations; it panics on
+// invalid phase bounds instead of returning an error.
+func LinkFlapTap(maxUp, maxDown int, seed uint64) Tap {
+	t, err := NewLinkFlapTap(maxUp, maxDown, seed)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
 // ChainTaps composes taps left to right; a nil result short-circuits.
 func ChainTaps(taps ...Tap) Tap {
 	return func(data []byte) []byte {

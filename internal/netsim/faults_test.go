@@ -150,3 +150,94 @@ func TestReordererLinkTeardown(t *testing.T) {
 		}
 	}
 }
+
+// TestLinkFlapTapDeterministic checks the flap schedule replays from the
+// seed: two taps with equal arguments produce identical pass/drop
+// patterns, the pattern alternates bounded runs, and a different seed
+// yields a different schedule.
+func TestLinkFlapTapDeterministic(t *testing.T) {
+	const n = 2000
+	pattern := func(seed uint64) []bool {
+		tap := LinkFlapTap(7, 4, seed)
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = tap([]byte{1}) != nil
+		}
+		return out
+	}
+	p1, p2 := pattern(42), pattern(42)
+	passed, dropped := 0, 0
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("flap schedule diverged at packet %d under equal seeds", i)
+		}
+		if p1[i] {
+			passed++
+		} else {
+			dropped++
+		}
+	}
+	if passed == 0 || dropped == 0 {
+		t.Fatalf("degenerate flap schedule: %d passed, %d dropped", passed, dropped)
+	}
+	// Run lengths stay inside the configured phase bounds.
+	run, up := 1, p1[0]
+	for i := 1; i < len(p1); i++ {
+		if p1[i] == up {
+			run++
+			continue
+		}
+		if up && run > 7 {
+			t.Fatalf("up-run of %d exceeds maxUp=7", run)
+		}
+		if !up && run > 4 {
+			t.Fatalf("down-run of %d exceeds maxDown=4", run)
+		}
+		run, up = 1, p1[i]
+	}
+	other := pattern(43)
+	same := true
+	for i := range p1 {
+		if p1[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced the same flap schedule")
+	}
+}
+
+// TestLinkFlapTapComposable chains a flap tap with a corrupt tap: packets
+// dropped by the flap short-circuit the chain, surviving packets still
+// pass through the corruption stage.
+func TestLinkFlapTapComposable(t *testing.T) {
+	chain := ChainTaps(LinkFlapTap(3, 3, 9), CorruptTap(1, 10))
+	in := []byte{0xAA, 0xBB, 0xCC, 0xDD}
+	delivered, corrupted := 0, 0
+	for i := 0; i < 100; i++ {
+		out := chain(in)
+		if out == nil {
+			continue
+		}
+		delivered++
+		if !bytes.Equal(out, in) {
+			corrupted++
+		}
+	}
+	if delivered == 0 {
+		t.Fatal("flap chain never delivered")
+	}
+	if corrupted != delivered {
+		t.Errorf("corrupt stage saw %d of %d delivered packets", corrupted, delivered)
+	}
+}
+
+func TestLinkFlapTapValidation(t *testing.T) {
+	if _, err := NewLinkFlapTap(0, 3, 1); err == nil {
+		t.Error("maxUp=0 accepted")
+	}
+	if _, err := NewLinkFlapTap(3, 0, 1); err == nil {
+		t.Error("maxDown=0 accepted")
+	}
+}

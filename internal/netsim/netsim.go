@@ -141,6 +141,10 @@ type Link struct {
 	Delay time.Duration
 	// Bandwidth in bits per second; 0 = infinite (no serialization).
 	Bandwidth float64
+	// down cuts the link (both directions) administratively; checked at
+	// delivery time, so packets in flight when the link drops are lost.
+	// Kept separate from taps: user-installed fault taps compose on top.
+	down bool
 }
 
 type linkEnd struct {
@@ -242,6 +246,14 @@ func (l *Link) SetTap(towardNode string, t Tap) error {
 // Ends returns the two node names the link connects.
 func (l *Link) Ends() (string, string) { return l.a.node.Name, l.b.node.Name }
 
+// SetDown cuts (true) or restores (false) the link in both directions.
+// Packets already in flight are lost when the link is down at their
+// delivery time — a cut severs the fiber, not the send queue.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether the link is administratively cut.
+func (l *Link) Down() bool { return l.down }
+
 // Send transmits data from node's port after delay extraDelay (the sender's
 // local processing time). It returns an error if the port is unconnected.
 func (n *Network) Send(node *Node, port int, data []byte, extraDelay time.Duration) error {
@@ -269,6 +281,10 @@ func (n *Network) Send(node *Node, port int, data []byte, extraDelay time.Durati
 
 	dst := end.peer
 	n.Sim.At(depart+l.Delay, func() {
+		if l.down {
+			dst.dropped++
+			return
+		}
 		payload := d
 		if dst.tap != nil {
 			payload = dst.tap(payload)
@@ -350,4 +366,38 @@ func (n *Network) LinkBetween(a, b string) *Link {
 		}
 	}
 	return nil
+}
+
+// Partition cuts every link with exactly one end inside the named group,
+// splitting the network two ways, and returns the links it cut (already
+// -down links are not re-cut and not returned, so interleaved partitions
+// heal independently). Heal the split by calling SetDown(false) on the
+// returned links, or Heal to restore the whole network.
+func (n *Network) Partition(group ...string) []*Link {
+	in := make(map[string]bool, len(group))
+	for _, name := range group {
+		in[name] = true
+	}
+	var cut []*Link
+	for _, l := range n.links {
+		a, b := l.Ends()
+		if in[a] != in[b] && !l.down {
+			l.SetDown(true)
+			cut = append(cut, l)
+		}
+	}
+	return cut
+}
+
+// Heal restores every administratively-cut link and reports how many it
+// brought back up.
+func (n *Network) Heal() int {
+	healed := 0
+	for _, l := range n.links {
+		if l.down {
+			l.SetDown(false)
+			healed++
+		}
+	}
+	return healed
 }

@@ -442,3 +442,89 @@ func TestLossyLinkDelivery(t *testing.T) {
 		t.Errorf("delivered %d of %d over a 50%% lossy link", got, sent)
 	}
 }
+
+// TestPartitionAndHeal splits a four-node line a-b-c-d at the {a,b}
+// boundary: only the b-c link is cut, traffic inside each side still
+// flows, Partition is idempotent for already-down links, and Heal
+// restores connectivity.
+func TestPartitionAndHeal(t *testing.T) {
+	n := NewNetwork()
+	var atC, atB [][]byte
+	n.AddNode("a", nil)
+	n.AddNode("b", collect(&atB))
+	n.AddNode("c", collect(&atC))
+	n.AddNode("d", nil)
+	n.MustConnect("a", 1, "b", 1, time.Microsecond, 0)
+	n.MustConnect("b", 2, "c", 1, time.Microsecond, 0)
+	n.MustConnect("c", 2, "d", 1, time.Microsecond, 0)
+
+	cut := n.Partition("a", "b")
+	if len(cut) != 1 {
+		t.Fatalf("partition cut %d links, want 1 (b-c)", len(cut))
+	}
+	if x, y := cut[0].Ends(); !(x == "b" && y == "c") && !(x == "c" && y == "b") {
+		t.Fatalf("partition cut %s-%s, want b-c", x, y)
+	}
+	// Overlapping partition must not claim the already-down link again.
+	if again := n.Partition("a", "b"); len(again) != 0 {
+		t.Fatalf("re-partition re-cut %d links", len(again))
+	}
+	if err := n.Send(n.Node("b"), 2, []byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(n.Node("a"), 1, []byte{2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim.Run()
+	if len(atC) != 0 {
+		t.Error("packet crossed a partitioned link")
+	}
+	if len(atB) != 1 {
+		t.Errorf("intra-group packet lost: b got %d", len(atB))
+	}
+
+	if healed := n.Heal(); healed != 1 {
+		t.Fatalf("healed %d links, want 1", healed)
+	}
+	if err := n.Send(n.Node("b"), 2, []byte{3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim.Run()
+	if len(atC) != 1 {
+		t.Error("healed link did not deliver")
+	}
+}
+
+// TestSetDownCutsInFlightPackets models a fiber cut: a packet already in
+// flight when the link goes down is lost, and user taps stay installed
+// across the down/up cycle.
+func TestSetDownCutsInFlightPackets(t *testing.T) {
+	n := NewNetwork()
+	var got [][]byte
+	n.AddNode("a", nil)
+	n.AddNode("b", collect(&got))
+	l := n.MustConnect("a", 1, "b", 1, 10*time.Microsecond, 0)
+	taps := 0
+	if err := l.SetTap("b", func(d []byte) []byte { taps++; return d }); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(n.Node("a"), 1, []byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim.At(5*time.Microsecond, func() { l.SetDown(true) })
+	n.Sim.Run()
+	if len(got) != 0 || taps != 0 {
+		t.Fatalf("in-flight packet survived the cut (delivered=%d taps=%d)", len(got), taps)
+	}
+	if !l.Down() {
+		t.Error("Down() = false after SetDown(true)")
+	}
+	l.SetDown(false)
+	if err := n.Send(n.Node("a"), 1, []byte{2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim.Run()
+	if len(got) != 1 || taps != 1 {
+		t.Errorf("restored link: delivered=%d taps=%d, want 1/1", len(got), taps)
+	}
+}

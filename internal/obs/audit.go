@@ -43,6 +43,10 @@ const (
 	// EvWriteDropped: an authenticated write was abandoned after
 	// exhausting retries; Cause names the final error class.
 	EvWriteDropped
+	// EvLinkState: a fabric link-health state machine transitioned; Actor
+	// is the link label, Cause the evidence class, Seq the repair epoch,
+	// and Value packs (from<<8 | to) of the state pair.
+	EvLinkState
 )
 
 var eventNames = map[EventType]string{
@@ -57,6 +61,7 @@ var eventNames = map[EventType]string{
 	EvQuarantineLeave:  "quarantine_leave",
 	EvWALSettle:        "wal_settle",
 	EvWriteDropped:     "write_dropped",
+	EvLinkState:        "link_state",
 }
 
 // String returns the stable snake_case name of the event type.

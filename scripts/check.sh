@@ -22,6 +22,15 @@ go test -race ./...
 echo "== chaos short suite (fixed seeds)"
 go test -race -count=1 -run 'TestChaosShort|TestChaosDeterminism' ./internal/netsim/chaos/
 
+# Fabric chaos: seeded schedules of link flaps, two-way partitions, and
+# one-sided port-key rollovers against the self-healing DP-DP fabric.
+# Every run must reconverge to all-links-Healthy with paired port keys,
+# zero forged feedback applied, degraded routing off quarantined links,
+# and an exactly reconciled link_state audit trail — deterministic
+# across seeds.
+echo "== fabric chaos gate (flaps, partitions, one-sided rollovers)"
+go test -race -count=1 -run 'TestFabricShort|TestFabricDeterminism' ./internal/netsim/chaos/
+
 # Concurrency stress: pipelined writers vs concurrent rollovers under
 # fault taps, and the sharded-switch concurrency suite. -count=1 so the
 # race detector sees fresh interleavings on every gate.
