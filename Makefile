@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-save bench-smoke chaos fabric-chaos stress cover fuzz-smoke
+.PHONY: check build vet test race bench bench-save bench-smoke chaos fabric-chaos ha-chaos stress cover fuzz-smoke
 
-check: build vet race chaos fabric-chaos stress cover fuzz-smoke bench-smoke
+check: build vet race chaos fabric-chaos ha-chaos stress cover fuzz-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -31,10 +31,19 @@ chaos:
 fabric-chaos:
 	$(GO) test -race -count=1 -run 'TestFabricShort|TestFabricDeterminism' ./internal/netsim/chaos/
 
+# HA chaos: controller-kill-under-sharded-load and split-brain attempts
+# against the lease-fenced active/standby pair. Every run must show zero
+# forged or stale-fenced writes applied, a bounded failover, a
+# reconciled failover/fenced-write audit trail, and bit-identical traces
+# per seed.
+ha-chaos:
+	$(GO) test -race -count=1 -run 'TestHAShort|TestHADeterminism' ./internal/netsim/chaos/
+
 # Concurrency stress: pipelined writers vs concurrent key rollovers under
-# fault taps, plus the sharded-switch suite, with fresh interleavings.
+# fault taps, the sharded-switch suite, and the HA replica suite
+# (lease races, failover mid-rollover), with fresh interleavings.
 stress:
-	$(GO) test -race -count=1 ./internal/controller/ ./internal/pisa/
+	$(GO) test -race -count=1 ./internal/controller/ ./internal/pisa/ ./internal/ha/
 
 # Coverage floor (>= 85%) for the trust-boundary packages: core codecs
 # and key machinery, crypto primitives, and the observability layer.

@@ -39,6 +39,10 @@ func main() {
 		for _, r := range bj.Fig19Pipe {
 			fmt.Printf("fig19p window %-3d %12.0f req/s %8.2fx\n", r.Window, r.Tput, r.Speedup)
 		}
+		if f := bj.Fleet; f != nil {
+			fmt.Printf("fleet  %d switches w%-3d %12.0f writes/s (serial %.0f/s) failover %.1fms epoch %d\n",
+				f.Switches, f.Window, f.WritesPerSec, f.SerialPerSec, f.FailoverMs, f.FailoverEpoch)
+		}
 		fmt.Printf("wrote %s\n", *save)
 		return
 	}

@@ -26,6 +26,13 @@
 // the link — printing each link's health state and the transition trail:
 //
 //	p4auth-inspect links
+//
+// And the HA controller pair: decode persisted PALS lease records, or
+// run the deterministic failover reference (bootstrap, standby fencing,
+// active death, lease expiry, warm promotion):
+//
+//	p4auth-inspect ha                      # reference failover run
+//	p4auth-inspect ha <store-dir>/ha/lease # decode a lease record
 package main
 
 import (
@@ -55,6 +62,13 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "links" {
 		if err := runLinks(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "ha" {
+		if err := runHA(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

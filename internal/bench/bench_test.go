@@ -273,7 +273,7 @@ func TestAllRunnersListed(t *testing.T) {
 		}
 		ids[r.ID] = true
 	}
-	for _, want := range []string{"table1", "fig16", "fig17", "fig18", "fig19", "table2", "fig20", "fig21", "table3", "ablation", "netcache", "silkroad", "netwarden", "flowradar", "blink"} {
+	for _, want := range []string{"table1", "fig16", "fig17", "fig18", "fig19", "table2", "fig20", "fig21", "table3", "ablation", "netcache", "silkroad", "netwarden", "flowradar", "blink", "fleet"} {
 		if !ids[want] {
 			t.Errorf("missing runner %s", want)
 		}

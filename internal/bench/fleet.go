@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"p4auth/internal/controller"
+	"p4auth/internal/crypto"
+	"p4auth/internal/deploy"
+	"p4auth/internal/netsim/chaos"
+	"p4auth/internal/pisa"
+)
+
+// Fleet-scale control-plane benchmark: aggregate authenticated write
+// throughput of the sharded controller across a 64-switch fleet, plus
+// the failover time of the lease-fenced active/standby pair under the
+// deterministic HA chaos scenario. The single-switch serial and windowed
+// numbers (Fig. 19 and its pipelined variant) measure one lane; this
+// measures the whole highway — per-switch shard workers drain
+// concurrently, so fleet wall time is the slowest shard, not the sum.
+
+// FleetOpts parameterizes the fleet throughput measurement.
+type FleetOpts struct {
+	// Switches is the fleet size (default 64).
+	Switches int
+	// Window is the per-shard in-flight window (default 32).
+	Window int
+	// WritesPerSwitch is the load per shard (default 64).
+	WritesPerSwitch int
+}
+
+// DefaultFleetOpts measures the headline configuration: 64 switches,
+// window 32, 64 writes per switch.
+func DefaultFleetOpts() FleetOpts {
+	return FleetOpts{Switches: 64, Window: 32, WritesPerSwitch: 64}
+}
+
+// FleetResult is the numeric outcome of one fleet run.
+type FleetResult struct {
+	// Switches and Window echo the options.
+	Switches, Window int
+	// Writes is the total writes landed across the fleet.
+	Writes int
+	// Wall is the modeled fleet wall time (max shard latency).
+	Wall time.Duration
+	// Tput is the aggregate authenticated writes/s of modeled time.
+	Tput float64
+	// Serial is the single-switch serial baseline (Fig. 19 window 1).
+	Serial float64
+	// Failover is the virtual-time span from killing the active
+	// controller mid-rollover to the standby serving the whole fleet
+	// (lease expiry + warm restart), from the HA chaos harness.
+	Failover time.Duration
+	// FailoverEpoch is the fencing epoch after the takeover.
+	FailoverEpoch uint64
+}
+
+// RunFleet measures aggregate sharded throughput and HA failover time.
+func RunFleet(o FleetOpts) (*FleetResult, error) {
+	if o.Switches == 0 {
+		o = DefaultFleetOpts()
+	}
+	c := controller.New(crypto.NewSeededRand(0xF1EE7))
+	var names []string
+	for i := 0; i < o.Switches; i++ {
+		name := fmt.Sprintf("b%02d", i)
+		sw, err := deploy.Build(deploy.SwitchSpec{
+			Name:  name,
+			Ports: 4,
+			Registers: []*pisa.RegisterDef{
+				{Name: "bench_reg", Width: 64, Entries: 1024},
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Register(name, sw.Host, sw.Cfg, 0); err != nil {
+			return nil, err
+		}
+		if _, err := c.LocalKeyInit(name); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	ss, err := c.NewShardSet(names, o.Window)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range names {
+		for k := 0; k < o.WritesPerSwitch; k++ {
+			if err := ss.Submit(n, controller.RegWrite{
+				Register: "bench_reg", Index: uint32(k % 1024), Value: uint64(k),
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := ss.DrainParallel(); err != nil {
+		return nil, fmt.Errorf("bench: fleet drain: %w", err)
+	}
+	tot, wall := ss.FleetTotals()
+	if tot.Failed > 0 || tot.Landed != o.Switches*o.WritesPerSwitch {
+		return nil, fmt.Errorf("bench: fleet landed %d/%d (failed %d)",
+			tot.Landed, o.Switches*o.WritesPerSwitch, tot.Failed)
+	}
+	if wall <= 0 {
+		return nil, fmt.Errorf("bench: non-positive fleet wall time")
+	}
+	res := &FleetResult{
+		Switches: o.Switches,
+		Window:   o.Window,
+		Writes:   tot.Landed,
+		Wall:     wall,
+		Tput:     float64(tot.Landed) * float64(time.Second) / float64(wall),
+	}
+
+	// Single-switch serial baseline for the speedup claim.
+	sc, err := pipelinedFixture()
+	if err != nil {
+		return nil, err
+	}
+	if res.Serial, err = pipelinedWriteTput(sc, 256, 1); err != nil {
+		return nil, err
+	}
+
+	// Failover time from the deterministic HA chaos run: active killed
+	// mid-rollover at fleet scale, standby promotes warm.
+	ha, err := chaos.RunHA(chaos.HAOptions{
+		Seed:     0xFA11,
+		Scenario: chaos.HAKill,
+		Switches: o.Switches,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: HA failover run: %w", err)
+	}
+	if len(ha.Violations) > 0 {
+		return nil, fmt.Errorf("bench: HA failover run violated invariants: %s", ha.Violations[0])
+	}
+	res.Failover = ha.FailoverTime
+	res.FailoverEpoch = ha.Epoch
+	return res, nil
+}
+
+// Fleet regenerates the fleet-scale report: aggregate sharded throughput
+// against the single-switch serial baseline, and the bounded failover.
+func Fleet(opts FleetOpts) (*Report, error) {
+	r, err := RunFleet(opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:    "Fleet",
+		Title: "Sharded fleet throughput and lease-fenced failover",
+		Columns: []string{
+			"switches", "window", "fleet tput", "single-switch serial", "speedup", "failover",
+		},
+		Rows: [][]string{{
+			fmt.Sprintf("%d", r.Switches),
+			fmt.Sprintf("%d", r.Window),
+			fmt.Sprintf("%.0f/s", r.Tput),
+			fmt.Sprintf("%.0f/s", r.Serial),
+			fmt.Sprintf("%.1fx", r.Tput/r.Serial),
+			fmt.Sprintf("%v", r.Failover),
+		}},
+		Notes: []string{
+			"fleet tput = landed writes / max shard wall time (shards drain concurrently)",
+			"failover = virtual time from active kill mid-rollover to warm standby serving (HA chaos, kill-active)",
+		},
+	}
+	return rep, nil
+}

@@ -1,0 +1,38 @@
+package bench
+
+import "testing"
+
+// TestFleetShape exercises the fleet measurement end to end at a small
+// scale: aggregate sharded throughput must beat the single-switch serial
+// baseline (shards drain concurrently), the HA chaos run inside it must
+// report a bounded failover, and the takeover must land at epoch 2
+// (bootstrap grant + one promotion).
+func TestFleetShape(t *testing.T) {
+	o := FleetOpts{Switches: 8, Window: 8, WritesPerSwitch: 16}
+	r, err := RunFleet(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Writes != o.Switches*o.WritesPerSwitch {
+		t.Errorf("landed %d writes, want %d", r.Writes, o.Switches*o.WritesPerSwitch)
+	}
+	if r.Tput <= r.Serial {
+		t.Errorf("fleet tput %.0f/s does not beat serial baseline %.0f/s", r.Tput, r.Serial)
+	}
+	if r.Failover <= 0 {
+		t.Errorf("failover time %v, want > 0", r.Failover)
+	}
+	if r.FailoverEpoch != 2 {
+		t.Errorf("failover epoch %d, want 2", r.FailoverEpoch)
+	}
+
+	rep, err := Fleet(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 || len(rep.Rows[0]) != len(rep.Columns) {
+		t.Fatalf("fleet report shape: %d rows, row0 %d cells, %d columns",
+			len(rep.Rows), len(rep.Rows[0]), len(rep.Columns))
+	}
+	t.Logf("\n%s", rep)
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"testing"
+	"time"
 
 	"p4auth/internal/controller"
 	"p4auth/internal/core"
@@ -46,11 +47,25 @@ type MetricsBlock struct {
 	AuditEvents int `json:"audit_events"`
 }
 
+// FleetBlock is the sharded-fleet artifact: aggregate authenticated
+// write throughput across the fleet and the lease-fenced failover time
+// of the active/standby pair (both in modeled/virtual time).
+type FleetBlock struct {
+	Switches      int     `json:"switches"`
+	Window        int     `json:"window"`
+	Writes        int     `json:"writes_total"`
+	WritesPerSec  float64 `json:"writes_per_sec"`
+	SerialPerSec  float64 `json:"single_switch_serial_per_sec"`
+	FailoverMs    float64 `json:"failover_ms"`
+	FailoverEpoch uint64  `json:"failover_epoch"`
+}
+
 // BenchJSON is the checked-in benchmark artifact.
 type BenchJSON struct {
 	Date      string        `json:"date"`
 	Micro     []MicroResult `json:"micro"`
 	Fig19Pipe []TputRow     `json:"fig19_pipelined"`
+	Fleet     *FleetBlock   `json:"fleet,omitempty"`
 	Metrics   *MetricsBlock `json:"metrics,omitempty"`
 }
 
@@ -171,6 +186,21 @@ func CollectBenchJSON(date string) (*BenchJSON, error) {
 			speedup = tput / serial
 		}
 		out.Fig19Pipe = append(out.Fig19Pipe, TputRow{Window: w, Tput: tput, Speedup: speedup})
+	}
+
+	// Fleet-scale sharded throughput + HA failover time.
+	fr, err := RunFleet(DefaultFleetOpts())
+	if err != nil {
+		return nil, err
+	}
+	out.Fleet = &FleetBlock{
+		Switches:      fr.Switches,
+		Window:        fr.Window,
+		Writes:        fr.Writes,
+		WritesPerSec:  fr.Tput,
+		SerialPerSec:  fr.Serial,
+		FailoverMs:    float64(fr.Failover) / float64(time.Millisecond),
+		FailoverEpoch: fr.FailoverEpoch,
 	}
 	return out, nil
 }

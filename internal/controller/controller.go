@@ -146,6 +146,11 @@ type Controller struct {
 	dead     bool
 	seedUses map[string]int
 
+	// fence, when set, is consulted before every signed wire send
+	// (SetSendFence) — the HA layer's lease check. Read under mu, called
+	// without it.
+	fence func() error
+
 	// ob holds the pre-resolved observability instruments (observe.go).
 	// Atomic so hot paths read it without c.mu; never nil after New.
 	ob obPtr
@@ -253,6 +258,10 @@ func (c *Controller) peerOf(sw string, port int) (peerRef, bool) {
 	p, ok := c.adj[portKey{sw, port}]
 	return p, ok
 }
+
+// SwitchNames returns the registered switch names, sorted — the fleet
+// iteration order used by RecoverAll and the HA promotion path.
+func (c *Controller) SwitchNames() []string { return c.switchNames() }
 
 // switchNames returns the registered switch names, sorted — iteration in
 // a deterministic order is part of the chaos-replay contract.

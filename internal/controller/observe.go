@@ -37,6 +37,9 @@ const (
 	CauseQuarantined = "quarantined"
 	// CauseKilled: the controller process was dead.
 	CauseKilled = "controller-killed"
+	// CauseFenced: the send was refused by the HA lease fence (deposed or
+	// never-active replica).
+	CauseFenced = "lease-fenced"
 	// CauseNAck: the data plane rejected the operation.
 	CauseNAck = "nacked"
 	// CauseReplayRejected: the final outcome was a verified replay alert.
@@ -213,6 +216,8 @@ func causeOf(err error) string {
 		return ""
 	case errors.Is(err, ErrQuarantined):
 		return CauseQuarantined
+	case errors.Is(err, ErrFenced):
+		return CauseFenced
 	case errors.Is(err, ErrKilled):
 		return CauseKilled
 	case errors.Is(err, ErrNAck):

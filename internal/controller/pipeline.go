@@ -416,6 +416,18 @@ func (c *Controller) exchangeBatchBytesLocked(h *swHandle, wires [][]byte) (out 
 		c.mu.Unlock()
 		return nil, 0, ErrKilled
 	}
+	if fence := c.fence; fence != nil {
+		c.mu.Unlock()
+		if ferr := fence(); ferr != nil {
+			// Same rule as the serial path: a fenced window never sends.
+			return nil, 0, ferr
+		}
+		c.mu.Lock()
+		if c.dead {
+			c.mu.Unlock()
+			return nil, 0, ErrKilled
+		}
+	}
 	c.stats.MessagesSent += len(wires)
 	for _, w := range wires {
 		c.stats.BytesSent += len(w)

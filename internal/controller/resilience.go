@@ -22,6 +22,24 @@ var ErrQuarantined = errors.New("controller: switch is quarantined")
 // crashed process can neither send nor persist.
 var ErrKilled = errors.New("controller: controller process is dead")
 
+// ErrFenced is returned when a send is refused by the lease fence: the
+// controller replica no longer holds (or never held) the HA ownership
+// lease at its epoch. A deposed active hits this on its first wire
+// attempt after supersession — the write dies here, before any signed
+// bytes leave the process.
+var ErrFenced = errors.New("controller: send refused by lease fence")
+
+// SetSendFence installs a fence consulted before every signed wire send
+// (both the serial and the batch exchange path). A nil return admits the
+// send; any error refuses it, and ErrFenced (possibly wrapped) marks a
+// lease-fencing refusal for audit classification. The fence runs without
+// c.mu held and must not call back into this controller.
+func (c *Controller) SetSendFence(f func() error) {
+	c.mu.Lock()
+	c.fence = f
+	c.mu.Unlock()
+}
+
 // AlertError is a verified data-plane alert that failed an exchange: the
 // switch proved (under the shared key) that it rejected our request.
 // Callers unwrap it with errors.As to distinguish a replay rejection —
@@ -513,6 +531,19 @@ func (c *Controller) exchangeBytesLocked(h *swHandle, data []byte) (out []*core.
 		// A crashed controller process sends nothing; in-flight operations
 		// die with it and their results are moot.
 		return nil, 0, 0, 0, ErrKilled
+	}
+	if fence := c.fence; fence != nil {
+		c.mu.Unlock()
+		if ferr := fence(); ferr != nil {
+			// A fenced replica sends nothing: the lease no longer (or never
+			// did) name it, so the signed bytes must not reach the wire.
+			return nil, 0, 0, 0, ferr
+		}
+		c.mu.Lock()
+		if c.dead {
+			c.mu.Unlock()
+			return nil, 0, 0, 0, ErrKilled
+		}
 	}
 	c.stats.MessagesSent++
 	c.stats.BytesSent += len(data)

@@ -1,0 +1,234 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"p4auth/internal/crypto"
+	"p4auth/internal/deploy"
+	"p4auth/internal/obs"
+	"p4auth/internal/pisa"
+)
+
+// fleetFixture builds n switches s00..s(n-1), all registered with a
+// fresh controller, keys initialized.
+func fleetFixture(t *testing.T, n int) (*Controller, []string) {
+	t.Helper()
+	c := New(crypto.NewSeededRand(7700))
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("s%02d", i)
+		sw, err := deploy.Build(deploy.SwitchSpec{
+			Name:  name,
+			Ports: 4,
+			Registers: []*pisa.RegisterDef{
+				{Name: "lat", Width: 32, Entries: 8},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Register(name, sw.Host, sw.Cfg, 50*time.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+		names[i] = name
+	}
+	if _, err := c.InitAllKeys(); err != nil {
+		t.Fatal(err)
+	}
+	return c, names
+}
+
+func TestShardSetSequentialDrain(t *testing.T) {
+	c, names := fleetFixture(t, 4)
+	ss, err := c.NewShardSet(names, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sw := range names {
+		for idx := uint32(0); idx < 3; idx++ {
+			if err := ss.Submit(sw, RegWrite{Register: "lat", Index: idx, Value: uint64(100*i) + uint64(idx)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := ss.Pending("s01"); got != 3 {
+		t.Fatalf("Pending = %d, want 3", got)
+	}
+	if err := ss.DrainSequential(); err != nil {
+		t.Fatal(err)
+	}
+	for i, sw := range names {
+		for idx := uint32(0); idx < 3; idx++ {
+			v, _, err := c.ReadRegister(sw, "lat", idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := uint64(100*i) + uint64(idx); v != want {
+				t.Fatalf("%s lat[%d] = %d, want %d", sw, idx, v, want)
+			}
+		}
+	}
+	sum, wall := ss.FleetTotals()
+	if sum.Submitted != 12 || sum.Landed != 12 || sum.Failed != 0 {
+		t.Fatalf("totals = %+v", sum)
+	}
+	if wall <= 0 || wall > sum.Lat {
+		t.Fatalf("fleet wall %v out of range (sum %v)", wall, sum.Lat)
+	}
+}
+
+func TestShardSetParallelDrain(t *testing.T) {
+	c, names := fleetFixture(t, 8)
+	ss, err := c.NewShardSet(names, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perShard = 16
+	var wg sync.WaitGroup
+	for _, sw := range names {
+		wg.Add(1)
+		go func(sw string) {
+			defer wg.Done()
+			for i := 0; i < perShard; i++ {
+				if err := ss.Submit(sw, RegWrite{Register: "lat", Index: uint32(i % 8), Value: uint64(i)}); err != nil {
+					t.Error(err)
+				}
+			}
+		}(sw)
+	}
+	wg.Wait()
+	if err := ss.DrainParallel(); err != nil {
+		t.Fatal(err)
+	}
+	sum, _ := ss.FleetTotals()
+	if sum.Landed != len(names)*perShard || sum.Failed != 0 {
+		t.Fatalf("totals = %+v, want %d landed", sum, len(names)*perShard)
+	}
+	for _, sw := range names {
+		if ss.Pending(sw) != 0 {
+			t.Fatalf("%s still has pending writes after drain", sw)
+		}
+	}
+}
+
+func TestShardSetValidation(t *testing.T) {
+	c, names := fleetFixture(t, 2)
+	if _, err := c.NewShardSet(names, 0); err == nil {
+		t.Fatal("window 0 accepted")
+	}
+	if _, err := c.NewShardSet([]string{"nope"}, 4); err == nil {
+		t.Fatal("unknown switch accepted")
+	}
+	if _, err := c.NewShardSet([]string{"s00", "s00"}, 4); err == nil {
+		t.Fatal("duplicate shard accepted")
+	}
+	ss, err := c.NewShardSet(names, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Submit("nope", RegWrite{Register: "lat"}); err == nil {
+		t.Fatal("submit to unknown shard accepted")
+	}
+}
+
+// TestShardSetRebindAcrossKill is the handoff seam: the original
+// controller dies mid-fleet, queued writes fail under it, and after
+// Rebind the same set (queues, totals) drains through a successor.
+func TestShardSetRebindAcrossKill(t *testing.T) {
+	c, names := fleetFixture(t, 4)
+	ss, err := c.NewShardSet(names, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sw := range names {
+		if err := ss.Submit(sw, RegWrite{Register: "lat", Index: 1, Value: 11}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Kill()
+	if err := ss.DrainSequential(); !errors.Is(err, ErrKilled) {
+		t.Fatalf("drain on a dead controller = %v, want ErrKilled", err)
+	}
+	sum, _ := ss.FleetTotals()
+	if sum.Failed != len(names) {
+		t.Fatalf("failed = %d, want %d", sum.Failed, len(names))
+	}
+
+	// The successor drives the same switches (handles carry the keystore
+	// state in this process model, so re-registering the same hosts with
+	// fresh key init stands in for warm restart — the HA package owns the
+	// real snapshot-based promotion).
+	c2, names2 := fleetFixture(t, 4)
+	if fmt.Sprint(names) != fmt.Sprint(names2) {
+		t.Fatal("fixture name mismatch")
+	}
+	ss.Rebind(c2)
+	for _, sw := range names {
+		if err := ss.Submit(sw, RegWrite{Register: "lat", Index: 2, Value: 22}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ss.DrainSequential(); err != nil {
+		t.Fatalf("drain after rebind: %v", err)
+	}
+	sum, _ = ss.FleetTotals()
+	if sum.Landed != len(names) || sum.Failed != len(names) {
+		t.Fatalf("totals after rebind = %+v", sum)
+	}
+	for _, sw := range names2 {
+		v, _, err := c2.ReadRegister(sw, "lat", 2)
+		if err != nil || v != 22 {
+			t.Fatalf("%s lat[2] = (%d, %v), want 22", sw, v, err)
+		}
+	}
+}
+
+// TestSendFenceRefusesBothPaths proves the fence guards the serial and
+// the batch exchange, that fenced sends never touch the wire stats, and
+// that causeOf classifies the refusal for audit.
+func TestSendFenceRefusesBothPaths(t *testing.T) {
+	c, _, _ := twoSwitchFabric(t)
+	if _, err := c.InitAllKeys(); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Stats()
+	fenceErr := fmt.Errorf("replica deposed: %w", ErrFenced)
+	c.SetSendFence(func() error { return fenceErr })
+
+	if _, err := c.WriteRegister("s1", "lat", 0, 1); !errors.Is(err, ErrFenced) {
+		t.Fatalf("serial write under fence = %v, want ErrFenced", err)
+	}
+	br, err := c.WriteRegisterBatch("s1", 4, []RegWrite{{Register: "lat", Index: 0, Value: 1}})
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("batch write under fence = %v, want ErrFenced", err)
+	}
+	if br.Failed != 1 {
+		t.Fatalf("batch Failed = %d, want 1", br.Failed)
+	}
+	if got := c.Stats(); got.MessagesSent != before.MessagesSent {
+		t.Fatalf("fenced sends counted as sent: %d -> %d", before.MessagesSent, got.MessagesSent)
+	}
+	if got := causeOf(fenceErr); got != CauseFenced {
+		t.Fatalf("causeOf(fenced) = %q, want %q", got, CauseFenced)
+	}
+	// Dropped writes under the fence still audit with the fenced cause.
+	evs := c.Observer().Audit.ByType(obs.EvWriteDropped)
+	if len(evs) == 0 {
+		t.Fatal("no EvWriteDropped audited for fenced writes")
+	}
+	for _, e := range evs {
+		if e.Cause != CauseFenced {
+			t.Fatalf("dropped write cause = %q, want %q", e.Cause, CauseFenced)
+		}
+	}
+
+	// Lifting the fence restores service.
+	c.SetSendFence(nil)
+	if _, err := c.WriteRegister("s1", "lat", 0, 5); err != nil {
+		t.Fatalf("write after lifting fence: %v", err)
+	}
+}

@@ -1,0 +1,229 @@
+package ha
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"p4auth/internal/statestore"
+)
+
+// LeaseManager is one replica's view of the controller-ownership lease.
+// All mutations go through the store's compare-and-swap, so two managers
+// racing over the same store serialize on the record itself — there is
+// no other coordination channel, which is the point: whatever survives
+// in the record IS the truth.
+type LeaseManager struct {
+	st    statestore.Store
+	swap  statestore.Swapper
+	clock Clock
+	name  string
+	ttl   time.Duration
+
+	mu sync.Mutex
+	// held is the last grant this replica obtained (Holder == name);
+	// nil before the first Acquire and after a detected deposition.
+	held *statestore.Lease
+}
+
+// NewLeaseManager returns a manager for the named replica. The store
+// must support compare-and-swap (both bundled backends do).
+func NewLeaseManager(st statestore.Store, clock Clock, name string, ttl time.Duration) (*LeaseManager, error) {
+	swap, ok := st.(statestore.Swapper)
+	if !ok {
+		return nil, fmt.Errorf("ha: store %T does not support CompareAndSwap", st)
+	}
+	if name == "" {
+		return nil, fmt.Errorf("ha: replica needs a name")
+	}
+	if ttl <= 0 {
+		return nil, fmt.Errorf("ha: lease TTL must be positive")
+	}
+	return &LeaseManager{st: st, swap: swap, clock: clock, name: name, ttl: ttl}, nil
+}
+
+// Name returns the replica name the manager grants to.
+func (m *LeaseManager) Name() string { return m.name }
+
+// readRecord loads the current record. It returns the raw bytes for the
+// CAS precondition and the decoded lease (nil when absent or corrupt —
+// a corrupt record reads as "no lease" but its bytes still gate the
+// swap, so two replicas cannot both claim over the same garbage).
+func (m *LeaseManager) readRecord() ([]byte, *statestore.Lease, error) {
+	raw, err := m.st.Load(statestore.LeaseKey)
+	if errors.Is(err, statestore.ErrNotFound) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	l, derr := statestore.DecodeLease(raw)
+	if derr != nil {
+		return raw, nil, nil
+	}
+	return raw, l, nil
+}
+
+// Acquire claims the lease, incrementing the fencing epoch. It refuses
+// with ErrLeaseHeld while another replica's grant is unexpired, and with
+// ErrLeaseRaced when the swap lost a concurrent update.
+func (m *LeaseManager) Acquire() (*statestore.Lease, error) {
+	now := uint64(m.clock.Now())
+	raw, cur, err := m.readRecord()
+	if err != nil {
+		return nil, err
+	}
+	var epoch uint64 = 1
+	if cur != nil {
+		if cur.Holder != m.name && now < cur.ExpiresNs() {
+			return nil, fmt.Errorf("%w (holder %s epoch %d until %dns)",
+				ErrLeaseHeld, cur.Holder, cur.Epoch, cur.ExpiresNs())
+		}
+		epoch = cur.Epoch + 1
+	}
+	next := &statestore.Lease{Holder: m.name, Epoch: epoch, GrantedNs: now, TTLNs: uint64(m.ttl)}
+	ok, err := m.swap.CompareAndSwap(statestore.LeaseKey, raw, next.Encode())
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, ErrLeaseRaced
+	}
+	m.mu.Lock()
+	m.held = next
+	m.mu.Unlock()
+	return next, nil
+}
+
+// Renew extends the validity window of the current tenure at the same
+// epoch. ErrDeposed means another replica acquired in between; the
+// caller must stop driving switches (its fence already refuses).
+func (m *LeaseManager) Renew() (*statestore.Lease, error) {
+	m.mu.Lock()
+	held := m.held
+	m.mu.Unlock()
+	if held == nil {
+		return nil, ErrNotActive
+	}
+	raw, cur, err := m.readRecord()
+	if err != nil {
+		return nil, err
+	}
+	if cur == nil || cur.Holder != m.name || cur.Epoch != held.Epoch {
+		m.mu.Lock()
+		m.held = nil
+		m.mu.Unlock()
+		return nil, ErrDeposed
+	}
+	next := &statestore.Lease{Holder: m.name, Epoch: cur.Epoch, GrantedNs: uint64(m.clock.Now()), TTLNs: uint64(m.ttl)}
+	ok, err := m.swap.CompareAndSwap(statestore.LeaseKey, raw, next.Encode())
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, ErrLeaseRaced
+	}
+	m.mu.Lock()
+	m.held = next
+	m.mu.Unlock()
+	return next, nil
+}
+
+// Resign voluntarily ends the tenure by expiring the record in place
+// (TTL 0), letting a standby acquire without waiting out the window.
+func (m *LeaseManager) Resign() error {
+	m.mu.Lock()
+	held := m.held
+	m.held = nil
+	m.mu.Unlock()
+	if held == nil {
+		return nil
+	}
+	raw, cur, err := m.readRecord()
+	if err != nil {
+		return err
+	}
+	if cur == nil || cur.Holder != m.name || cur.Epoch != held.Epoch {
+		return nil // already superseded; nothing to give up
+	}
+	next := &statestore.Lease{Holder: m.name, Epoch: cur.Epoch, GrantedNs: cur.GrantedNs, TTLNs: 0}
+	if _, err := m.swap.CompareAndSwap(statestore.LeaseKey, raw, next.Encode()); err != nil {
+		return err
+	}
+	return nil
+}
+
+// HeldEpoch returns the epoch of the replica's current tenure (0 when
+// not active).
+func (m *LeaseManager) HeldEpoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.held == nil {
+		return 0
+	}
+	return m.held.Epoch
+}
+
+// FenceError is a classified fencing refusal. It unwraps to ErrNotActive
+// (and through it to controller.ErrFenced), so transport-level callers
+// see one error class while the audit trail keeps the precise cause.
+type FenceError struct {
+	// Cause is one of the Cause* fencing labels.
+	Cause string
+	// Detail is the human-readable specifics.
+	Detail string
+}
+
+func (e *FenceError) Error() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("%v: %s", ErrNotActive, e.Cause)
+	}
+	return fmt.Sprintf("%v: %s (%s)", ErrNotActive, e.Cause, e.Detail)
+}
+
+// Unwrap chains into ErrNotActive -> controller.ErrFenced.
+func (e *FenceError) Unwrap() error { return ErrNotActive }
+
+// FenceCause maps a fencing error to its audit cause label.
+func FenceCause(err error) string {
+	var fe *FenceError
+	if errors.As(err, &fe) {
+		return fe.Cause
+	}
+	if err != nil {
+		return CauseNeverActive
+	}
+	return ""
+}
+
+// Fence is the admit-or-refuse check run before every signed send and
+// every durable persist: the STORED record must still name this replica
+// at its acquired epoch, unexpired. Consulting the store (not the cached
+// grant) is what catches supersession — a deposed-but-alive active reads
+// the usurper's record and refuses itself. The returned error wraps
+// controller.ErrFenced via ErrNotActive.
+func (m *LeaseManager) Fence() error {
+	m.mu.Lock()
+	held := m.held
+	m.mu.Unlock()
+	if held == nil {
+		return &FenceError{Cause: CauseNeverActive}
+	}
+	_, cur, err := m.readRecord()
+	if err != nil {
+		return &FenceError{Cause: CauseLeaseUnreadable, Detail: err.Error()}
+	}
+	if cur == nil {
+		return &FenceError{Cause: CauseLeaseUnreadable}
+	}
+	if cur.Holder != m.name || cur.Epoch != held.Epoch {
+		return &FenceError{Cause: CauseDeposed,
+			Detail: fmt.Sprintf("holder %s epoch %d, ours %d", cur.Holder, cur.Epoch, held.Epoch)}
+	}
+	if now := uint64(m.clock.Now()); now >= cur.ExpiresNs() {
+		return &FenceError{Cause: CauseLeaseExpired,
+			Detail: fmt.Sprintf("at %dns, expired %dns", now, cur.ExpiresNs())}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package ha
+
+import (
+	"fmt"
+
+	"p4auth/internal/statestore"
+)
+
+// FencedStore wraps a statestore.Store so that durable WRITES pass the
+// lease fence while reads stay open. The controller's crash-safety layer
+// persists through this wrapper: a deposed active can no longer advance
+// the shared snapshots or journal — its WAL intents die at the store
+// boundary, before the standby could ever tail them. Reads are unfenced
+// because the standby must tail and recover from the store while
+// explicitly NOT holding the lease.
+//
+// The lease record itself is managed through the raw store (the
+// LeaseManager writes it by CAS); a FencedStore never carries it.
+type FencedStore struct {
+	raw   statestore.Store
+	fence func() error
+	// onRefusal, when set, observes each refused mutation (metrics +
+	// audit hook; op is "save" or "delete").
+	onRefusal func(op, key string, err error)
+}
+
+// NewFencedStore wraps raw; every Save/Delete consults fence first.
+func NewFencedStore(raw statestore.Store, fence func() error, onRefusal func(op, key string, err error)) *FencedStore {
+	return &FencedStore{raw: raw, fence: fence, onRefusal: onRefusal}
+}
+
+// Save implements statestore.Store, refusing when fenced.
+func (s *FencedStore) Save(key string, value []byte) error {
+	if err := s.fence(); err != nil {
+		if s.onRefusal != nil {
+			s.onRefusal("save", key, err)
+		}
+		return fmt.Errorf("ha: fenced persist of %s: %w", key, err)
+	}
+	return s.raw.Save(key, value)
+}
+
+// Delete implements statestore.Store, refusing when fenced.
+func (s *FencedStore) Delete(key string) error {
+	if err := s.fence(); err != nil {
+		if s.onRefusal != nil {
+			s.onRefusal("delete", key, err)
+		}
+		return fmt.Errorf("ha: fenced delete of %s: %w", key, err)
+	}
+	return s.raw.Delete(key)
+}
+
+// Load implements statestore.Store (unfenced).
+func (s *FencedStore) Load(key string) ([]byte, error) { return s.raw.Load(key) }
+
+// Keys implements statestore.Store (unfenced).
+func (s *FencedStore) Keys(prefix string) ([]string, error) { return s.raw.Keys(prefix) }

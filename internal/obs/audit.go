@@ -47,6 +47,14 @@ const (
 	// is the link label, Cause the evidence class, Seq the repair epoch,
 	// and Value packs (from<<8 | to) of the state pair.
 	EvLinkState
+	// EvFailover: a standby replica acquired the controller lease; Actor
+	// is the new active, Cause the trigger class, and Value the fencing
+	// epoch of the new grant.
+	EvFailover
+	// EvFencedWrite: a replica's signed send was refused by the lease
+	// fence (deposed, superseded, or never the holder); Actor is the
+	// refused replica and Value the epoch it held.
+	EvFencedWrite
 )
 
 var eventNames = map[EventType]string{
@@ -62,6 +70,8 @@ var eventNames = map[EventType]string{
 	EvWALSettle:        "wal_settle",
 	EvWriteDropped:     "write_dropped",
 	EvLinkState:        "link_state",
+	EvFailover:         "failover",
+	EvFencedWrite:      "fenced_write",
 }
 
 // String returns the stable snake_case name of the event type.

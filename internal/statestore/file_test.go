@@ -1,0 +1,208 @@
+package statestore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestFileCrashDuringRename models a writer that died between CreateTemp
+// and Rename: the orphaned temp file must not shadow the previous value,
+// must not surface in Keys, and must not block later writes — this is
+// the window the standby's tailer rides through on every active-side
+// snapshot.
+func TestFileCrashDuringRename(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("ctl/s1", []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	// The crash artifacts: an empty temp and a half-written temp in the
+	// same directory the key lives in.
+	for _, junk := range [][]byte{nil, []byte("half-writ")} {
+		f, err := os.CreateTemp(filepath.Join(dir, "ctl"), ".tmp-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(junk); err != nil {
+			t.Fatal(err)
+		}
+		f.Close() // no rename: the writer died here
+	}
+	got, err := s.Load("ctl/s1")
+	if err != nil || string(got) != "good" {
+		t.Fatalf("Load after aborted rename = (%q, %v), want the previous value", got, err)
+	}
+	keys, err := s.Keys("ctl/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != "ctl/s1" {
+		t.Fatalf("Keys sees crash litter: %v", keys)
+	}
+	tl := NewTailer(s, "ctl/")
+	ch, err := tl.Poll()
+	if err != nil || len(ch) != 1 || ch[0].Key != "ctl/s1" {
+		t.Fatalf("Tailer sees crash litter: (%v, %v)", ch, err)
+	}
+	if err := s.Save("ctl/s1", []byte("after")); err != nil {
+		t.Fatalf("Save after crash litter: %v", err)
+	}
+	if got, _ := s.Load("ctl/s1"); string(got) != "after" {
+		t.Fatalf("post-crash Save not visible: %q", got)
+	}
+}
+
+// TestFileTornFinalWriteDetected: if a non-atomic writer ever truncates
+// the final file (rename is atomic on POSIX, but the codec is the second
+// line of defence by contract), the CRC armour must refuse the bytes.
+func TestFileTornFinalWriteDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := (&Lease{Holder: "ctl-a", Epoch: 9, GrantedNs: 1, TTLNs: 2}).Encode()
+	if err := s.Save(LeaseKey, full); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn write by hand, bypassing Save's atomicity.
+	p := filepath.Join(dir, filepath.FromSlash(LeaseKey))
+	if err := os.WriteFile(p, full[:len(full)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load(LeaseKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeLease(got); err == nil {
+		t.Fatal("torn lease record decoded successfully")
+	}
+}
+
+// TestFileConcurrentReaderWhileWriter is the standby's steady state: one
+// goroutine rewriting keys (the active persisting snapshots and lease
+// renewals) while readers Load and a Tailer polls. Every observed value
+// must be a complete write — PALS decode proves integrity, and the
+// epochs a single reader observes must be non-decreasing because Save
+// replaces whole values under the store lock.
+func TestFileConcurrentReaderWhileWriter(t *testing.T) {
+	s, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writes = 200
+	if err := s.Save(LeaseKey, (&Lease{Holder: "w", Epoch: 0}).Encode()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		defer close(done)
+		for i := uint64(1); i <= writes; i++ {
+			if err := s.Save(LeaseKey, (&Lease{Holder: "w", Epoch: i}).Encode()); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%10 == 0 { // interleave deletes+recreates of a sibling key
+				if err := s.Save("ha/aux", []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.Delete("ha/aux"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() { // readers
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				b, err := s.Load(LeaseKey)
+				if err != nil {
+					if errors.Is(err, ErrNotFound) {
+						continue
+					}
+					t.Error(err)
+					return
+				}
+				l, err := DecodeLease(b)
+				if err != nil {
+					t.Errorf("reader saw a torn value: %v", err)
+					return
+				}
+				if l.Epoch < last {
+					t.Errorf("reader saw epoch regress %d -> %d", last, l.Epoch)
+					return
+				}
+				last = l.Epoch
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // tailer
+		defer wg.Done()
+		tl := NewTailer(s, "ha/")
+		var last uint64
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			ch, err := tl.Poll()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, c := range ch {
+				if c.Key != LeaseKey || c.Value == nil {
+					continue
+				}
+				l, err := DecodeLease(c.Value)
+				if err != nil {
+					t.Errorf("tailer saw a torn value: %v", err)
+					return
+				}
+				if l.Epoch < last {
+					t.Errorf("tailer saw epoch regress %d -> %d", last, l.Epoch)
+					return
+				}
+				last = l.Epoch
+			}
+		}
+	}()
+	wg.Wait()
+	final, err := s.Load(LeaseKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := DecodeLease(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Epoch != writes {
+		t.Fatalf("final epoch = %d, want %d", l.Epoch, writes)
+	}
+	// The writer's temp files must all be gone.
+	if !bytes.Equal(final, (&Lease{Holder: "w", Epoch: writes}).Encode()) {
+		t.Fatal("final value is not the last write")
+	}
+}

@@ -1,0 +1,37 @@
+package statestore
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeLease: the controller-ownership lease record (PALS). Same
+// discipline as the core codec targets — arbitrary bytes must never
+// panic, and any accepted input must survive an encode/decode round
+// trip unchanged. The lease is the fencing root of the HA design, so a
+// decoder confusion here would be a split-brain primitive.
+func FuzzDecodeLease(f *testing.F) {
+	for _, l := range []*Lease{
+		{},
+		{Holder: "ctl-a", Epoch: 1, GrantedNs: 12345, TTLNs: 5_000_000},
+		{Holder: "b", Epoch: ^uint64(0), GrantedNs: ^uint64(0), TTLNs: ^uint64(0)},
+	} {
+		f.Add(l.Encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte("PALS"))
+	f.Add([]byte("PALS\x01\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := DecodeLease(data)
+		if err != nil {
+			return
+		}
+		l2, err := DecodeLease(l.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(l, l2) {
+			t.Fatalf("round trip changed lease:\n  %+v\n  %+v", l, l2)
+		}
+	})
+}

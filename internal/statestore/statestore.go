@@ -167,6 +167,11 @@ func (s *File) Save(key string, value []byte) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.writeLocked(key, value)
+}
+
+// writeLocked performs the atomic temp+rename write. Requires s.mu.
+func (s *File) writeLocked(key string, value []byte) error {
 	p := s.path(key)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return fmt.Errorf("statestore: %w", err)
@@ -204,9 +209,22 @@ func (s *File) Load(key string) ([]byte, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	b, err := s.readLocked(key)
+	if err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return b, nil
+}
+
+// readLocked returns the key's bytes, nil for an absent key, and an
+// error only for real I/O failures. Requires s.mu.
+func (s *File) readLocked(key string) ([]byte, error) {
 	b, err := os.ReadFile(s.path(key))
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+		return nil, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("statestore: %w", err)

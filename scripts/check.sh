@@ -1,6 +1,13 @@
 #!/bin/sh
-# Full verification gate: build, vet, race-enabled tests. Mirrors
-# `make check` for environments without make.
+# Full verification gate: build, vet, race-enabled tests, then the
+# independent chaos/stress/coverage/fuzz/bench gates concurrently.
+# Mirrors `make check` for environments without make.
+#
+# The serial prefix (build, vet, race) establishes a compiling,
+# race-clean tree; everything after it only re-runs subsets with fixed
+# seeds or fresh interleavings, so those gates share no state and run in
+# parallel. Each gate's output is line-prefixed with its name; the
+# script fails if any gate fails, after letting all of them finish.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -14,44 +21,64 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
-# The deterministic chaos smoke runs with fixed seeds (see
-# internal/netsim/chaos): controller kills and switch crashes injected
-# mid-rollover, mid-register-write, and mid-port-key-init, with the
-# crash-safety invariants checked after every recovery. -count=1 defeats
-# the test cache so the gate always exercises it.
-echo "== chaos short suite (fixed seeds)"
-go test -race -count=1 -run 'TestChaosShort|TestChaosDeterminism' ./internal/netsim/chaos/
+# Gate catalogue (name + command), run concurrently below:
+#
+#   chaos         deterministic crash/recovery smoke with fixed seeds
+#                 (controller kills and switch crashes mid-rollover,
+#                 mid-register-write, mid-port-key-init)
+#   fabric-chaos  seeded link flaps, partitions, one-sided rollovers
+#                 against the self-healing DP-DP fabric
+#   ha-chaos      controller-kill-under-sharded-load and split-brain
+#                 against the lease-fenced active/standby pair: zero
+#                 forged or stale-fenced writes applied, bounded
+#                 failover, reconciled audit, bit-identical traces
+#   stress        pipelined writers vs concurrent rollovers under fault
+#                 taps, the sharded-switch suite, and the HA failover
+#                 stress (-count=1 for fresh interleavings)
+#   cover         >= 85% coverage floor on core, crypto, obs
+#   fuzz-smoke    10s of mutation per codec fuzz target over the
+#                 checked-in seed corpora
+#   bench-smoke   the zero-allocation hot path through the real
+#                 benchmark harness
+echo "== concurrent gates (chaos, fabric-chaos, ha-chaos, stress, cover, fuzz-smoke, bench-smoke)"
 
-# Fabric chaos: seeded schedules of link flaps, two-way partitions, and
-# one-sided port-key rollovers against the self-healing DP-DP fabric.
-# Every run must reconverge to all-links-Healthy with paired port keys,
-# zero forged feedback applied, degraded routing off quarantined links,
-# and an exactly reconciled link_state audit trail — deterministic
-# across seeds.
-echo "== fabric chaos gate (flaps, partitions, one-sided rollovers)"
-go test -race -count=1 -run 'TestFabricShort|TestFabricDeterminism' ./internal/netsim/chaos/
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
 
-# Concurrency stress: pipelined writers vs concurrent rollovers under
-# fault taps, and the sharded-switch concurrency suite. -count=1 so the
-# race detector sees fresh interleavings on every gate.
-echo "== concurrency stress (-race, pipelined transport + sharded switch)"
-go test -race -count=1 ./internal/controller/ ./internal/pisa/
+# run NAME CMD...: run a gate in the background, prefixing every output
+# line with [NAME] and recording its exit status in $tmp/NAME.status.
+run() {
+    name="$1"
+    shift
+    {
+        if "$@" 2>&1; then
+            echo 0 >"$tmp/$name.status"
+        else
+            echo 1 >"$tmp/$name.status"
+        fi
+    } | sed "s/^/[$name] /" &
+}
 
-# Coverage floor for the trust-boundary packages (core, crypto, obs):
-# new code in the codecs, primitives, or observability layer must come
-# with tests.
-echo "== coverage floor (core, crypto, obs >= 85%)"
-./scripts/cover.sh
+run chaos        go test -race -count=1 -run 'TestChaosShort|TestChaosDeterminism' ./internal/netsim/chaos/
+run fabric-chaos go test -race -count=1 -run 'TestFabricShort|TestFabricDeterminism' ./internal/netsim/chaos/
+run ha-chaos     go test -race -count=1 -run 'TestHAShort|TestHADeterminism' ./internal/netsim/chaos/
+run stress       go test -race -count=1 ./internal/controller/ ./internal/pisa/ ./internal/ha/
+run cover        ./scripts/cover.sh
+run fuzz-smoke   ./scripts/fuzz_smoke.sh
+run bench-smoke  go test -bench=BenchmarkAuthenticatedWrite -benchtime=10x -run '^$' -short .
 
-# Fuzz smoke: 10s of mutation per codec fuzz target over the checked-in
-# seed corpora. A crasher found here lands in testdata/fuzz and becomes
-# a permanent regression input.
-echo "== fuzz smoke (wire + persistence codecs)"
-./scripts/fuzz_smoke.sh
+wait
 
-# Bench smoke: the zero-allocation hot path must still complete through
-# the real benchmark harness (alloc budgets are gated by the tests above).
-echo "== bench smoke (AuthenticatedWrite)"
-go test -bench=BenchmarkAuthenticatedWrite -benchtime=10x -run '^$' -short .
+failed=0
+for name in chaos fabric-chaos ha-chaos stress cover fuzz-smoke bench-smoke; do
+    status="$(cat "$tmp/$name.status" 2>/dev/null || echo 1)"
+    if [ "$status" != 0 ]; then
+        echo "== FAILED: $name"
+        failed=1
+    fi
+done
+if [ "$failed" != 0 ]; then
+    exit 1
+fi
 
 echo "== OK"

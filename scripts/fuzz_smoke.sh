@@ -3,15 +3,23 @@
 # default 10s) on top of its checked-in seed corpus. This is not the
 # long campaign — it catches regressions where a codec change breaks the
 # round-trip property on inputs one generation of mutation away from the
-# seeds. New crashers land in internal/core/testdata/fuzz/ and become
+# seeds. New crashers land in the package's testdata/fuzz/ and become
 # permanent regression inputs.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 FUZZTIME="${FUZZTIME:-10s}"
-for target in FuzzDecodeMessage FuzzMessageBufDecode FuzzDecodeJournalEntry \
-    FuzzDecodeJournalBatch FuzzDecodeSnapshot FuzzDecodeDeviceSnapshot; do
-    echo "-- $target ($FUZZTIME)"
-    go test -run '^$' -fuzz "^${target}\$" -fuzztime "$FUZZTIME" ./internal/core/
+for entry in \
+    ./internal/core/:FuzzDecodeMessage \
+    ./internal/core/:FuzzMessageBufDecode \
+    ./internal/core/:FuzzDecodeJournalEntry \
+    ./internal/core/:FuzzDecodeJournalBatch \
+    ./internal/core/:FuzzDecodeSnapshot \
+    ./internal/core/:FuzzDecodeDeviceSnapshot \
+    ./internal/statestore/:FuzzDecodeLease; do
+    pkg="${entry%%:*}"
+    target="${entry#*:}"
+    echo "-- $pkg $target ($FUZZTIME)"
+    go test -run '^$' -fuzz "^${target}\$" -fuzztime "$FUZZTIME" "$pkg"
 done
