@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-save bench-smoke chaos fabric-chaos ha-chaos stress cover fuzz-smoke
+.PHONY: check build vet test race bench bench-save bench-smoke chaos fabric-chaos ha-chaos group-chaos stress cover fuzz-smoke
 
-check: build vet race chaos fabric-chaos ha-chaos stress cover fuzz-smoke bench-smoke
+check: build vet race chaos fabric-chaos ha-chaos group-chaos stress cover fuzz-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,15 @@ fabric-chaos:
 # per seed.
 ha-chaos:
 	$(GO) test -race -count=1 -run 'TestHAShort|TestHADeterminism' ./internal/netsim/chaos/
+
+# Group chaos: rolling kills across 3-5 ranked replicas (each successor
+# dying mid-promotion), store-outage-mid-tenure against the
+# bounded-staleness fence, and multi-way lease acquisition races. Every
+# run must show zero forged or stale-fenced writes applied, at most one
+# fenced-active per virtual instant, bounded failover, exact audit
+# reconciliation, and bit-identical traces per seed.
+group-chaos:
+	$(GO) test -race -count=1 -run 'TestGroupShort|TestGroupDeterminism' ./internal/netsim/chaos/
 
 # Concurrency stress: pipelined writers vs concurrent key rollovers under
 # fault taps, the sharded-switch suite, and the HA replica suite

@@ -43,6 +43,10 @@ func main() {
 			fmt.Printf("fleet  %d switches w%-3d %12.0f writes/s (serial %.0f/s) failover %.1fms epoch %d\n",
 				f.Switches, f.Window, f.WritesPerSec, f.SerialPerSec, f.FailoverMs, f.FailoverEpoch)
 		}
+		for _, g := range bj.Group {
+			fmt.Printf("group  n=%d %d switches: rolling-kill failover %.1fms chained %d waitouts %d epoch %d\n",
+				g.Replicas, g.Switches, g.FailoverMs, g.Chained, g.WaitOuts, g.Epoch)
+		}
 		fmt.Printf("wrote %s\n", *save)
 		return
 	}

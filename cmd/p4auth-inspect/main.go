@@ -33,6 +33,13 @@
 //
 //	p4auth-inspect ha                      # reference failover run
 //	p4auth-inspect ha <store-dir>/ha/lease # decode a lease record
+//
+// And the N-replica controller group: a deterministic reference run of
+// rank-order election over a fault-injecting store — bootstrap, a store
+// blip ridden out on the bounded-staleness fence, and two chained
+// successions with the dead grants waited out in full:
+//
+//	p4auth-inspect group
 package main
 
 import (
@@ -62,6 +69,13 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "links" {
 		if err := runLinks(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "group" {
+		if err := runGroup(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

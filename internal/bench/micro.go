@@ -66,6 +66,7 @@ type BenchJSON struct {
 	Micro     []MicroResult `json:"micro"`
 	Fig19Pipe []TputRow     `json:"fig19_pipelined"`
 	Fleet     *FleetBlock   `json:"fleet,omitempty"`
+	Group     []GroupRow    `json:"group_failover,omitempty"`
 	Metrics   *MetricsBlock `json:"metrics,omitempty"`
 }
 
@@ -201,6 +202,11 @@ func CollectBenchJSON(date string) (*BenchJSON, error) {
 		SerialPerSec:  fr.Serial,
 		FailoverMs:    float64(fr.Failover) / float64(time.Millisecond),
 		FailoverEpoch: fr.FailoverEpoch,
+	}
+
+	// N-replica group failover under rolling kills (N=3 and N=5).
+	if out.Group, err = groupBenchRows(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -80,6 +80,7 @@ func All() []Runner {
 		{"fig19", func() (*Report, error) { return Fig19(DefaultRegRWOpts()) }},
 		{"fig19p", func() (*Report, error) { return Fig19Pipelined(DefaultFig19PipelinedOpts()) }},
 		{"fleet", func() (*Report, error) { return Fleet(DefaultFleetOpts()) }},
+		{"group", func() (*Report, error) { return Group() }},
 		{"table2", func() (*Report, error) { return TableII() }},
 		{"fig20", func() (*Report, error) { return Fig20(DefaultFig20Opts()) }},
 		{"fig21", func() (*Report, error) { return Fig21(DefaultFig21Opts()) }},

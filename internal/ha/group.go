@@ -1,0 +1,253 @@
+package ha
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"p4auth/internal/obs"
+)
+
+// Advancer is implemented by clocks that can be driven forward
+// (netsim.Sim, the chaos harness clocks). Group election uses it to wait
+// out a dead incumbent's unexpired grant; on a wall clock the wait is
+// real and no Advancer is needed.
+type Advancer interface {
+	Advance(d time.Duration)
+}
+
+// maxElectRounds bounds one Elect call: each round is either a candidate
+// attempt, a raced retry, or a wait-out of an unexpired grant. The bound
+// is generous — N replicas can each die mid-promotion at most once, and
+// every wait-out consumes a full TTL — but it turns a livelock bug into
+// an error instead of a hang.
+const maxElectRounds = 64
+
+// Election is the outcome of one Group.Elect call.
+type Election struct {
+	// Winner is the replica that completed promotion and holds the lease.
+	Winner *Replica
+	// Warm is the winner's per-switch warm-restart map.
+	Warm map[string]bool
+	// Chained counts candidates that died mid-promotion before the
+	// winner: 0 is a plain failover, 1 means the first successor also
+	// crashed and the next rank took over from tailed state, and so on.
+	Chained int
+	// Incumbent is true when no election was needed — the stored grant
+	// named a live group member, who is returned as Winner with no
+	// promotion performed.
+	Incumbent bool
+	// Duration is the total election time on the group clock, including
+	// wait-outs of dead incumbents' grants.
+	Duration time.Duration
+}
+
+// Group is an N-replica controller group with deterministic succession:
+// the replica slice is the rank order, and election walks it skipping
+// dead candidates. There is no quorum and no vote — the CAS lease record
+// is the only coordination point, exactly as in the 2-replica pair, so
+// the group inherits the pair's safety argument unchanged: whoever's
+// record survives the swap IS the active, and everyone else is fenced by
+// the epoch check on every send and persist.
+//
+// What the group adds is liveness policy: which standby tries first
+// (rank), how a dead incumbent's unexpired grant is waited out (the TTL
+// is the detection bound), and how a candidate that dies mid-promotion
+// is itself superseded (chained succession — the next rank promotes over
+// the same tailed store state).
+type Group struct {
+	replicas []*Replica
+	clock    Clock
+	ob       *obs.Observer
+	active   int // index of the last known active, -1 when none
+
+	elections *obs.Counter
+	chained   *obs.Counter
+	waitOuts  *obs.Counter
+}
+
+// NewGroup assembles a group from ranked replicas (index 0 is the
+// preferred successor). All replicas must share the group's clock and
+// store; the observer is taken from the first replica (the fixture
+// shares one across the group so elections audit into a single trail).
+func NewGroup(clock Clock, replicas ...*Replica) (*Group, error) {
+	if len(replicas) < 2 {
+		return nil, fmt.Errorf("ha: a group needs at least 2 replicas, got %d", len(replicas))
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("ha: group needs a clock")
+	}
+	seen := map[string]bool{}
+	for _, r := range replicas {
+		if seen[r.Name()] {
+			return nil, fmt.Errorf("ha: duplicate replica name %q in group", r.Name())
+		}
+		seen[r.Name()] = true
+	}
+	ob := replicas[0].Observer()
+	m := ob.Metrics
+	return &Group{
+		replicas:  replicas,
+		clock:     clock,
+		ob:        ob,
+		active:    -1,
+		elections: m.Counter("ha.elections"),
+		chained:   m.Counter("ha.chained_promotions"),
+		waitOuts:  m.Counter("ha.election_waitouts"),
+	}, nil
+}
+
+// Replicas returns the ranked replica slice (do not mutate).
+func (g *Group) Replicas() []*Replica { return g.replicas }
+
+// Active returns the last known active replica, or nil. This is the
+// group's bookkeeping, not a liveness check — the fence, not this
+// pointer, is what refuses a deposed active.
+func (g *Group) Active() *Replica {
+	if g.active < 0 {
+		return nil
+	}
+	return g.replicas[g.active]
+}
+
+// byName finds a group member by replica name.
+func (g *Group) byName(name string) (int, *Replica) {
+	for i, r := range g.replicas {
+		if r.Name() == name {
+			return i, r
+		}
+	}
+	return -1, nil
+}
+
+// Bootstrap activates the rank-0 replica as the first active (no
+// recovery — the caller initializes keys afterwards, as in the pair).
+func (g *Group) Bootstrap() (*Replica, error) {
+	r := g.replicas[0]
+	if _, err := r.Activate(CauseBootstrap); err != nil {
+		return nil, err
+	}
+	g.active = 0
+	return r, nil
+}
+
+// TailStandbys polls snapshots and WAL on every live non-active replica,
+// returning the total changed records. A store error surfaces — a
+// standby that cannot tail is a standby whose next promotion would run
+// on stale knowledge of its own staleness.
+func (g *Group) TailStandbys() (int, error) {
+	n := 0
+	for i, r := range g.replicas {
+		if i == g.active || r.Controller().Killed() {
+			continue
+		}
+		c, err := r.TailOnce()
+		n += c
+		if err != nil {
+			return n, fmt.Errorf("ha: standby %s tail: %w", r.Name(), err)
+		}
+	}
+	return n, nil
+}
+
+// Elect drives one election to completion: find the best live candidate
+// in rank order, wait out any dead incumbent's unexpired grant (on an
+// Advancer clock the wait is virtual), promote, and — if the candidate
+// dies mid-promotion — continue down the ranks, counting the chain.
+// Returns ErrNoCandidates when every replica is dead.
+//
+// If the stored grant names a LIVE group member, no election happens:
+// the incumbent is returned with Incumbent set. A spurious Elect call
+// can therefore never depose a healthy active — the trigger may be
+// wrong, the record decides.
+func (g *Group) Elect(cause string) (*Election, error) {
+	t0 := g.clock.Now()
+	chained := 0
+	for round := 0; round < maxElectRounds; round++ {
+		idx, cand := g.nextLive()
+		if cand == nil {
+			return nil, ErrNoCandidates
+		}
+		// Respect the stored grant before promoting anyone: a live holder
+		// means the trigger was spurious and the incumbent wins; a dead
+		// holder's unexpired grant is waited out in full (the TTL is the
+		// detection bound — shortening it would reintroduce two writers).
+		cur, err := cand.CurrentLease()
+		if err != nil {
+			return nil, fmt.Errorf("ha: reading incumbent grant: %w", err)
+		}
+		if cur != nil {
+			now := uint64(g.clock.Now())
+			if exp := cur.ExpiresNs(); now < exp {
+				if i, holder := g.byName(cur.Holder); holder != nil && !holder.Controller().Killed() {
+					g.active = i
+					return &Election{Winner: holder, Incumbent: true,
+						Chained: chained, Duration: g.clock.Now() - t0}, nil
+				}
+				adv, ok := g.clock.(Advancer)
+				if !ok {
+					return nil, fmt.Errorf("%w (holder %s for another %dns; clock cannot advance)",
+						ErrLeaseHeld, cur.Holder, exp-now)
+				}
+				adv.Advance(time.Duration(exp-now) + time.Nanosecond)
+				g.waitOuts.Inc()
+				continue
+			}
+		}
+		// Catch up on the store before taking over: promotion must run on
+		// everything the previous active persisted.
+		if _, err := cand.TailOnce(); err != nil {
+			return nil, fmt.Errorf("ha: candidate %s pre-election tail: %w", cand.Name(), err)
+		}
+		warm, _, err := cand.Promote(cause)
+		if err == nil {
+			g.active = idx
+			g.elections.Inc()
+			if chained > 0 {
+				g.chained.Add(uint64(chained))
+			}
+			el := &Election{Winner: cand, Warm: warm, Chained: chained, Duration: g.clock.Now() - t0}
+			g.ob.Audit.Append(obs.EvElection, cand.Name(), cause, uint32(chained), cand.Epoch())
+			return el, nil
+		}
+		switch {
+		case cand.Controller().Killed():
+			// The candidate died mid-promotion. Its partial grant will be
+			// waited out like any dead incumbent's; the next rank succeeds
+			// it from the same tailed store state.
+			chained++
+			continue
+		case errors.Is(err, ErrLeaseHeld),
+			errors.Is(err, ErrLeaseRaced), errors.Is(err, ErrDeposed):
+			// Held, lost a swap, or superseded mid-promotion: somebody
+			// else's record landed. Next round's grant check resolves who.
+			continue
+		default:
+			// Promotion recovered with per-switch errors but the candidate
+			// holds the lease and is alive: it IS the active (the fence
+			// admits it); surface the degraded recovery to the caller.
+			if cand.Fence() == nil {
+				g.active = idx
+				g.elections.Inc()
+				if chained > 0 {
+					g.chained.Add(uint64(chained))
+				}
+				el := &Election{Winner: cand, Warm: warm, Chained: chained, Duration: g.clock.Now() - t0}
+				g.ob.Audit.Append(obs.EvElection, cand.Name(), cause, uint32(chained), cand.Epoch())
+				return el, err
+			}
+			return nil, fmt.Errorf("ha: candidate %s promotion failed: %w", cand.Name(), err)
+		}
+	}
+	return nil, fmt.Errorf("ha: election did not converge in %d rounds", maxElectRounds)
+}
+
+// nextLive returns the best-ranked replica whose controller is alive.
+func (g *Group) nextLive() (int, *Replica) {
+	for i, r := range g.replicas {
+		if !r.Controller().Killed() {
+			return i, r
+		}
+	}
+	return -1, nil
+}

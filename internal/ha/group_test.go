@@ -1,0 +1,242 @@
+package ha
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"p4auth/internal/controller"
+	"p4auth/internal/crypto"
+	"p4auth/internal/deploy"
+	"p4auth/internal/obs"
+	"p4auth/internal/pisa"
+	"p4auth/internal/statestore"
+)
+
+// Advance makes tclock an Advancer, so group elections can wait out a
+// dead incumbent's grant in virtual time.
+func (c *tclock) Advance(d time.Duration) { c.d += d }
+
+// groupFleet is N ranked replicas over one fault-injectable store.
+type groupFleet struct {
+	st    *statestore.FaultStore
+	clk   *tclock
+	ob    *obs.Observer
+	names []string
+	grp   *Group
+}
+
+func newGroupFleet(t *testing.T, nSwitches, nReplicas int, ttl time.Duration) *groupFleet {
+	t.Helper()
+	f := &groupFleet{clk: &tclock{}, ob: obs.NewObserver(0)}
+	f.st = statestore.NewFaultStore(statestore.NewMem(), f.clk, statestore.FaultConfig{})
+	sw := map[string]*deploy.Switch{}
+	for i := 0; i < nSwitches; i++ {
+		name := fmt.Sprintf("s%02d", i)
+		s, err := deploy.Build(deploy.SwitchSpec{
+			Name:  name,
+			Ports: 4,
+			Registers: []*pisa.RegisterDef{
+				{Name: "lat", Width: 32, Entries: 8},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw[name] = s
+		f.names = append(f.names, name)
+	}
+	var reps []*Replica
+	for i := 0; i < nReplicas; i++ {
+		c := controller.New(crypto.NewSeededRand(uint64(1000 + i)))
+		c.SetRetryPolicy(controller.ResilientRetryPolicy())
+		for _, nm := range f.names {
+			s := sw[nm]
+			if err := c.Register(nm, s.Host, s.Cfg, 50*time.Microsecond); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r, err := NewReplica(ReplicaConfig{
+			Name: fmt.Sprintf("ctl-%d", i), Store: f.st, Clock: f.clk, TTL: ttl,
+			Controller: c, Observer: f.ob,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, r)
+	}
+	grp, err := NewGroup(f.clk, reps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.grp = grp
+	return f
+}
+
+// bootstrapAndWrite brings up rank 0 with keys and one register write
+// per switch, then lets every standby tail.
+func (f *groupFleet) bootstrapAndWrite(t *testing.T) {
+	t.Helper()
+	act, err := f.grp.Bootstrap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := act.Controller().InitAllKeys(); err != nil {
+		t.Fatal(err)
+	}
+	for _, nm := range f.names {
+		if _, err := act.Controller().WriteRegister(nm, "lat", 1, 77); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.grp.TailStandbys(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupElection: kill the active; the rank-1 standby succeeds it at
+// the next epoch, warm, with all state intact.
+func TestGroupElection(t *testing.T) {
+	ttl := 20 * time.Millisecond
+	f := newGroupFleet(t, 3, 3, ttl)
+	f.bootstrapAndWrite(t)
+
+	f.grp.Replicas()[0].Controller().Kill()
+	el, err := f.grp.Elect(CauseElected)
+	if err != nil {
+		t.Fatalf("elect: %v", err)
+	}
+	if el.Winner.Name() != "ctl-1" || el.Chained != 0 || el.Incumbent {
+		t.Fatalf("election = %+v, want ctl-1 chained 0", el)
+	}
+	if el.Winner.Epoch() != 2 {
+		t.Fatalf("winner epoch = %d, want 2", el.Winner.Epoch())
+	}
+	for _, nm := range f.names {
+		if !el.Warm[nm] {
+			t.Fatalf("%s recovered cold after tailing", nm)
+		}
+		v, _, err := el.Winner.Controller().ReadRegister(nm, "lat", 1)
+		if err != nil || v != 77 {
+			t.Fatalf("%s lat[1] = (%d, %v), want 77", nm, v, err)
+		}
+	}
+	// The dead incumbent's grant was waited out, never shortened.
+	if n := f.ob.Metrics.Counter("ha.election_waitouts").Load(); n == 0 {
+		t.Fatal("election did not wait out the dead incumbent's grant")
+	}
+	evs := f.ob.Audit.ByType(obs.EvElection)
+	if len(evs) != 1 || evs[0].Actor != "ctl-1" || evs[0].Seq != 0 {
+		t.Fatalf("election audit = %+v", evs)
+	}
+}
+
+// TestGroupChainedPromotion: the rank-1 successor dies mid-promotion
+// (after acquiring, before finishing recovery); rank 2 takes over from
+// the same tailed state, and the chain depth is recorded.
+func TestGroupChainedPromotion(t *testing.T) {
+	ttl := 20 * time.Millisecond
+	f := newGroupFleet(t, 3, 3, ttl)
+	f.bootstrapAndWrite(t)
+
+	reps := f.grp.Replicas()
+	reps[0].Controller().Kill()
+
+	// Kill ctl-1 on its 2nd lease CAS after the election starts: the 1st
+	// is its Acquire, the 2nd the Renew after its first warm restart — so
+	// it dies mid-promotion holding a fresh grant.
+	cas := 0
+	f.st.SetHook(func(op statestore.Op, key string) {
+		if op != statestore.OpCAS || key != statestore.LeaseKey {
+			return
+		}
+		cas++
+		if cas == 2 {
+			reps[1].Controller().Kill()
+		}
+	})
+	el, err := f.grp.Elect(CauseElected)
+	f.st.SetHook(nil)
+	if err != nil {
+		t.Fatalf("chained elect: %v", err)
+	}
+	if el.Winner.Name() != "ctl-2" || el.Chained != 1 {
+		t.Fatalf("election = winner %s chained %d, want ctl-2 chained 1", el.Winner.Name(), el.Chained)
+	}
+	// Epochs: bootstrap 1, ctl-1's aborted tenure 2, ctl-2's tenure 3.
+	if el.Winner.Epoch() != 3 {
+		t.Fatalf("winner epoch = %d, want 3", el.Winner.Epoch())
+	}
+	for _, nm := range f.names {
+		v, _, err := el.Winner.Controller().ReadRegister(nm, "lat", 1)
+		if err != nil || v != 77 {
+			t.Fatalf("%s lat[1] = (%d, %v), want 77", nm, v, err)
+		}
+	}
+	// Both dead replicas are fenced; the winner is not.
+	if err := reps[0].Fence(); !errors.Is(err, controller.ErrFenced) {
+		t.Fatalf("rank-0 fence = %v", err)
+	}
+	if err := reps[1].Fence(); !errors.Is(err, controller.ErrFenced) {
+		t.Fatalf("rank-1 fence = %v", err)
+	}
+	m := f.ob.Metrics
+	if e, c := m.Counter("ha.elections").Load(), m.Counter("ha.chained_promotions").Load(); e != 1 || c != 1 {
+		t.Fatalf("elections %d chained %d, want 1 1", e, c)
+	}
+	evs := f.ob.Audit.ByType(obs.EvElection)
+	if len(evs) != 1 || evs[0].Seq != 1 || evs[0].Actor != "ctl-2" {
+		t.Fatalf("chained election audit = %+v", evs)
+	}
+}
+
+// TestGroupIncumbentWins: a spurious election trigger cannot depose a
+// live active — the stored grant decides.
+func TestGroupIncumbentWins(t *testing.T) {
+	f := newGroupFleet(t, 2, 3, 20*time.Millisecond)
+	f.bootstrapAndWrite(t)
+	el, err := f.grp.Elect(CauseElected)
+	if err != nil {
+		t.Fatalf("spurious elect: %v", err)
+	}
+	if !el.Incumbent || el.Winner.Name() != "ctl-0" {
+		t.Fatalf("election = %+v, want incumbent ctl-0", el)
+	}
+	if el.Winner.Epoch() != 1 {
+		t.Fatalf("incumbent epoch = %d, want 1 (no new grant)", el.Winner.Epoch())
+	}
+	if n := f.ob.Metrics.Counter("ha.elections").Load(); n != 0 {
+		t.Fatalf("incumbent resolution counted as %d elections", n)
+	}
+}
+
+// TestGroupNoCandidates: with every replica dead, Elect reports it
+// rather than spinning.
+func TestGroupNoCandidates(t *testing.T) {
+	f := newGroupFleet(t, 2, 3, 20*time.Millisecond)
+	f.bootstrapAndWrite(t)
+	for _, r := range f.grp.Replicas() {
+		r.Controller().Kill()
+	}
+	if _, err := f.grp.Elect(CauseElected); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("elect with all dead = %v, want ErrNoCandidates", err)
+	}
+}
+
+// TestGroupElectionSurvivesLostCAS: a forced lost swap on the
+// candidate's acquire is retried, not surfaced — races are normal.
+func TestGroupElectionSurvivesLostCAS(t *testing.T) {
+	ttl := 20 * time.Millisecond
+	f := newGroupFleet(t, 2, 3, ttl)
+	f.bootstrapAndWrite(t)
+	f.grp.Replicas()[0].Controller().Kill()
+	f.st.LoseNextCAS(1)
+	el, err := f.grp.Elect(CauseElected)
+	if err != nil {
+		t.Fatalf("elect with lost CAS: %v", err)
+	}
+	if el.Winner.Name() != "ctl-1" || el.Winner.Epoch() != 2 {
+		t.Fatalf("election = %s epoch %d, want ctl-1 epoch 2", el.Winner.Name(), el.Winner.Epoch())
+	}
+}

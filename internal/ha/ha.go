@@ -66,6 +66,34 @@ var ErrLeaseRaced = errors.New("ha: lost lease race")
 // this replica at its epoch — another replica acquired in between.
 var ErrDeposed = errors.New("ha: replica was deposed")
 
+// ErrEpochExhausted is returned by Acquire when the stored fencing epoch
+// is already at its maximum: incrementing would wrap to 0 and alias a
+// fresh tenure with "never held", so the group refuses instead of
+// saturating (two tenures must never share an epoch).
+var ErrEpochExhausted = errors.New("ha: fencing epoch exhausted")
+
+// ErrNoCandidates is returned by Group.Elect when every ranked replica
+// is dead or failed its promotion attempt.
+var ErrNoCandidates = errors.New("ha: no electable replica in the group")
+
+// DegradedEvent classifies one bounded-staleness fencing transition or
+// admission, observed via LeaseManager.SetDegradedObserver.
+type DegradedEvent string
+
+const (
+	// DegradedEnter: the store became unreadable and the cached grant
+	// started admitting.
+	DegradedEnter DegradedEvent = "degraded-enter"
+	// DegradedAdmit: one fence check admitted on cached evidence.
+	DegradedAdmit DegradedEvent = "degraded-admit"
+	// DegradedExit: a store round trip succeeded again; the episode
+	// ended with the fence still healthy.
+	DegradedExit DegradedEvent = "degraded-exit"
+	// DegradedExhausted: the episode ended in refusal — grace ran out or
+	// the cached grant neared expiry with the store still dark.
+	DegradedExhausted DegradedEvent = "degraded-exhausted"
+)
+
 // Fencing refusal cause labels (audit constants; see obs.EvFencedWrite).
 const (
 	// CauseNeverActive: the replica never acquired a lease.
@@ -76,7 +104,14 @@ const (
 	CauseLeaseExpired = "lease-expired"
 	// CauseLeaseUnreadable: the stored record is missing or corrupt.
 	CauseLeaseUnreadable = "lease-unreadable"
+	// CauseStoreUnavailable: the store itself is unreadable (I/O error,
+	// not an absent record) and no admissible cached grant exists.
+	CauseStoreUnavailable = "store-unavailable"
+	// CauseGraceExhausted: the store stayed unreadable past the bounded-
+	// staleness grace window; the replica fenced itself fail-safe.
+	CauseGraceExhausted = "degraded-grace-exhausted"
 	// Failover trigger labels (obs.EvFailover causes).
 	CauseBootstrap = "bootstrap"
 	CausePromoted  = "standby-promoted"
+	CauseElected   = "group-elected"
 )

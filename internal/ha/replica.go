@@ -29,6 +29,16 @@ type ReplicaConfig struct {
 	// harness shares one across replicas so the audit trail and metrics
 	// span the failover.
 	Observer *obs.Observer
+	// FenceGrace, when positive, arms bounded-staleness fencing: a store
+	// read error inside the fence is answered from the last good read for
+	// at most this long. FenceGrace+MaxSkew must be strictly less than
+	// TTL, or NewReplica refuses (the non-overlap proof needs the margin;
+	// see LeaseManager.ConfigureStaleness). Zero keeps the strict fence:
+	// any store error refuses immediately.
+	FenceGrace time.Duration
+	// MaxSkew bounds the clock disagreement assumed between this replica
+	// and any would-be successor when admitting on cached evidence.
+	MaxSkew time.Duration
 }
 
 // haMetrics is the replica's pre-resolved ha.* instrument set.
@@ -40,6 +50,12 @@ type haMetrics struct {
 	fencedPersists *obs.Counter
 	tailRecords    *obs.Counter
 	failoverNs     *obs.Histogram
+	// Bounded-staleness fencing: episodes entered/resolved and the
+	// admissions made on cached evidence while the store was dark.
+	degradedEnters    *obs.Counter
+	degradedExits     *obs.Counter
+	degradedExhausted *obs.Counter
+	degradedAdmits    *obs.Counter
 }
 
 // Replica is one controller in an active/standby group. A replica is
@@ -73,6 +89,9 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := mgr.ConfigureStaleness(cfg.FenceGrace, cfg.MaxSkew); err != nil {
+		return nil, err
+	}
 	ob := cfg.Observer
 	if ob == nil {
 		ob = cfg.Controller.Observer()
@@ -94,6 +113,11 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 			fencedPersists: m.Counter("ha.fenced_persists"),
 			tailRecords:    m.Counter("ha.tail_records"),
 			failoverNs:     m.Histogram("ha.failover_ns"),
+
+			degradedEnters:    m.Counter("ha.degraded_enters"),
+			degradedExits:     m.Counter("ha.degraded_exits"),
+			degradedExhausted: m.Counter("ha.degraded_exhausted"),
+			degradedAdmits:    m.Counter("ha.degraded_admits"),
 		},
 		ctlTail: statestore.NewTailer(cfg.Store, "ctl/"),
 		walTail: statestore.NewTailer(cfg.Store, "wal/"),
@@ -101,6 +125,21 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	fenced := NewFencedStore(cfg.Store, mgr.Fence, func(op, key string, ferr error) {
 		r.met.fencedPersists.Inc()
 		r.ob.Audit.Append(obs.EvFencedWrite, r.name, FenceCause(ferr), 0, mgr.HeldEpoch())
+	})
+	mgr.SetDegradedObserver(func(ev DegradedEvent, detail string) {
+		switch ev {
+		case DegradedAdmit:
+			// High-frequency (one per admitted send); counted, not audited.
+			r.met.degradedAdmits.Inc()
+			return
+		case DegradedEnter:
+			r.met.degradedEnters.Inc()
+		case DegradedExit:
+			r.met.degradedExits.Inc()
+		case DegradedExhausted:
+			r.met.degradedExhausted.Inc()
+		}
+		r.ob.Audit.Append(obs.EvDegraded, r.name, string(ev), 0, mgr.HeldEpoch())
 	})
 	if err := cfg.Controller.EnableCrashSafety(fenced); err != nil {
 		return nil, err
@@ -163,6 +202,19 @@ func (r *Replica) Renew() error {
 // Resign voluntarily expires the tenure (planned handoff).
 func (r *Replica) Resign() error { return r.mgr.Resign() }
 
+// Observer returns the replica's observer (shared across the group when
+// ReplicaConfig.Observer was set).
+func (r *Replica) Observer() *obs.Observer { return r.ob }
+
+// CurrentLease reads the stored lease record through the replica's
+// manager: (nil, nil) means no valid record (absent, corrupt, or torn).
+// Election logic uses this to find the incumbent and its expiry.
+func (r *Replica) CurrentLease() (*statestore.Lease, error) { return r.mgr.CurrentLease() }
+
+// InDegraded reports whether the replica's fence is currently admitting
+// on cached evidence (store unreadable, grace not yet exhausted).
+func (r *Replica) InDegraded() bool { return r.mgr.InDegraded() }
+
 // TailOnce polls the active's snapshots and WAL once, returning how many
 // changed records were observed. The standby runs this continuously; the
 // records themselves stay in the store (recovery reads them from there),
@@ -202,6 +254,13 @@ func (r *Replica) Promote(cause string) (map[string]bool, time.Duration, error) 
 	warm := make(map[string]bool, len(names))
 	var errs []error
 	for _, name := range names {
+		if r.ctl.Killed() {
+			// The replica died mid-promotion (chaos kill, crash). Stop at
+			// once: the group's next candidate must see an abandoned, not a
+			// half-driven, promotion.
+			errs = append(errs, fmt.Errorf("ha: replica killed mid-promotion before %s: %w", name, controller.ErrKilled))
+			break
+		}
 		w, err := r.ctl.WarmRestart(name)
 		warm[name] = w
 		if err != nil {

@@ -1,0 +1,68 @@
+package chaos
+
+// Forgery injection shared by the failover harnesses (RunHA, RunGroup):
+// a garbage-key signed write is thrown at every switch and absolutely
+// nothing may move — not the target register, not the key version, not
+// the replay floor. The sweep is seeded through the harness rng so the
+// forged key material is part of the deterministic schedule.
+
+import (
+	"p4auth/internal/core"
+	"p4auth/internal/deploy"
+)
+
+// sweepForgeries runs the forgery probe across the fleet. violate and
+// trace are the harness's reporting hooks; the draw from rnd keeps the
+// schedule deterministic per seed.
+func sweepForgeries(label string, names []string, sw map[string]*deploy.Switch,
+	rnd *rng, violate, trace func(format string, args ...interface{})) {
+	for _, n := range names {
+		s := sw[n]
+		ri, err := s.Host.Info.RegisterByName("lat")
+		if err != nil {
+			violate("%s: forgery setup on %s: %v", label, n, err)
+			return
+		}
+		dig, err := s.Cfg.Digester()
+		if err != nil {
+			violate("%s: forgery digester on %s: %v", label, n, err)
+			return
+		}
+		before, _ := s.Host.SW.RegisterRead("lat", forgeryIndex)
+		verBefore, _ := s.Host.SW.RegisterRead(core.RegVer, core.KeyIndexLocal)
+		floorBefore, _ := s.Host.SW.RegisterRead(core.RegSeq, 0)
+		m := &core.Message{
+			Header: core.Header{
+				HdrType: core.HdrRegister, MsgType: core.MsgWriteReq,
+				SeqNum: uint32(floorBefore) + 1000, KeyVersion: uint8(verBefore),
+			},
+			Reg: &core.RegPayload{RegID: ri.ID, Index: forgeryIndex, Value: 0xDEAD},
+		}
+		if err := m.Sign(dig, 0xBAD0_0BAD^rnd.next()); err != nil {
+			violate("%s: forgery sign: %v", label, err)
+			return
+		}
+		b, err := m.Encode()
+		if err != nil {
+			violate("%s: forgery encode: %v", label, err)
+			return
+		}
+		_, _ = s.Host.PacketOut(b)
+		after, _ := s.Host.SW.RegisterRead("lat", forgeryIndex)
+		verAfter, _ := s.Host.SW.RegisterRead(core.RegVer, core.KeyIndexLocal)
+		floorAfter, _ := s.Host.SW.RegisterRead(core.RegSeq, 0)
+		if after != before {
+			violate("%s: FORGERY ACCEPTED on %s: lat[%d] %d -> %d",
+				label, n, forgeryIndex, before, after)
+		}
+		if verAfter != verBefore {
+			violate("%s: forgery moved key version on %s: %d -> %d",
+				label, n, verBefore, verAfter)
+		}
+		if floorAfter != floorBefore {
+			violate("%s: forgery advanced replay floor on %s: %d -> %d",
+				label, n, floorBefore, floorAfter)
+		}
+	}
+	trace("%s: forgery bounced off all %d switches", label, len(names))
+}

@@ -1,0 +1,106 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+)
+
+// runGroupClean executes one group chaos run and fails the test on any
+// invariant violation, printing the trace for replay.
+func runGroupClean(t *testing.T, o GroupOptions) *GroupResult {
+	t.Helper()
+	res, err := RunGroup(o)
+	if err != nil {
+		if res != nil {
+			for _, line := range res.Trace {
+				t.Log(line)
+			}
+		}
+		t.Fatalf("harness error: %v", err)
+	}
+	if len(res.Violations) > 0 {
+		for _, line := range res.Trace {
+			t.Log(line)
+		}
+		t.Fatalf("%d invariant violations, first: %s", len(res.Violations), res.Violations[0])
+	}
+	return res
+}
+
+// TestGroupShort is the fixed-seed group chaos gate wired into
+// make group-chaos and scripts/check.sh: all three N-replica failure
+// modes — rolling kills with chained succession, store outage against
+// the bounded-staleness fence, and multi-way acquisition races — at both
+// N=3 and N=5, two seeds each. Every run must end with exactly one warm
+// active, zero forged or stale-fenced writes applied, bounded failover,
+// and an exactly reconciled audit trail.
+func TestGroupShort(t *testing.T) {
+	for _, scenario := range []GroupScenario{GroupRollingKill, GroupStoreOutage, GroupAcquireRace} {
+		for _, n := range []int{3, 5} {
+			for _, seed := range []uint64{0xA1, 0xB2} {
+				scenario, n, seed := scenario, n, seed
+				t.Run(fmt.Sprintf("%s/n=%d/seed=%#x", scenario, n, seed), func(t *testing.T) {
+					t.Parallel()
+					res := runGroupClean(t, GroupOptions{Seed: seed, Scenario: scenario, Replicas: n})
+					if !res.WarmAll {
+						t.Fatal("final promotion was not warm everywhere")
+					}
+					if res.FencedAttempts == 0 || res.Landed == 0 {
+						t.Fatalf("scenario did not bite: fenced=%d landed=%d",
+							res.FencedAttempts, res.Landed)
+					}
+					switch scenario {
+					case GroupRollingKill:
+						if res.Chained != n-2 || res.Winner != fmt.Sprintf("ctl-%d", n-1) {
+							t.Fatalf("chain = %d winner %s, want %d / ctl-%d",
+								res.Chained, res.Winner, n-2, n-1)
+						}
+						if res.Epoch != uint64(n) {
+							t.Fatalf("epoch = %d, want %d", res.Epoch, n)
+						}
+					case GroupStoreOutage:
+						if res.DegradedAdmits == 0 {
+							t.Fatal("no degraded admissions — the blip was not exercised")
+						}
+						if res.Winner != "ctl-1" || res.Epoch != 2 {
+							t.Fatalf("winner %s epoch %d, want ctl-1 epoch 2", res.Winner, res.Epoch)
+						}
+					case GroupAcquireRace:
+						if res.Winner != "ctl-2" || res.Epoch != 2 {
+							t.Fatalf("winner %s epoch %d, want ctl-2 epoch 2", res.Winner, res.Epoch)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestGroupDeterminism re-executes one run per scenario at N=4 and
+// requires bit-for-bit identical traces.
+func TestGroupDeterminism(t *testing.T) {
+	for _, scenario := range []GroupScenario{GroupRollingKill, GroupStoreOutage, GroupAcquireRace} {
+		scenario := scenario
+		t.Run(string(scenario), func(t *testing.T) {
+			t.Parallel()
+			o := GroupOptions{Seed: 42, Scenario: scenario, Replicas: 4}
+			a, err := RunGroup(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunGroup(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a.Trace) != len(b.Trace) {
+				t.Fatalf("trace lengths differ: %d vs %d", len(a.Trace), len(b.Trace))
+			}
+			for i := range a.Trace {
+				if a.Trace[i] != b.Trace[i] {
+					t.Fatalf("traces diverge at line %d:\n  run1: %s\n  run2: %s",
+						i, a.Trace[i], b.Trace[i])
+				}
+			}
+		})
+	}
+}

@@ -590,58 +590,9 @@ func (h *haHarness) verifyShadows(label string) {
 }
 
 // forgerySweep injects a garbage-key signed write into every switch and
-// asserts nothing moved: not the target register, not the key version,
-// not the replay floor.
+// asserts nothing moved (shared probe; see forgery.go).
 func (h *haHarness) forgerySweep(label string) {
-	for _, n := range h.names {
-		s := h.sw[n]
-		ri, err := s.Host.Info.RegisterByName("lat")
-		if err != nil {
-			h.violate("%s: forgery setup on %s: %v", label, n, err)
-			return
-		}
-		dig, err := s.Cfg.Digester()
-		if err != nil {
-			h.violate("%s: forgery digester on %s: %v", label, n, err)
-			return
-		}
-		before, _ := s.Host.SW.RegisterRead("lat", forgeryIndex)
-		verBefore, _ := s.Host.SW.RegisterRead(core.RegVer, core.KeyIndexLocal)
-		floorBefore, _ := s.Host.SW.RegisterRead(core.RegSeq, 0)
-		m := &core.Message{
-			Header: core.Header{
-				HdrType: core.HdrRegister, MsgType: core.MsgWriteReq,
-				SeqNum: uint32(floorBefore) + 1000, KeyVersion: uint8(verBefore),
-			},
-			Reg: &core.RegPayload{RegID: ri.ID, Index: forgeryIndex, Value: 0xDEAD},
-		}
-		if err := m.Sign(dig, 0xBAD0_0BAD^h.rng.next()); err != nil {
-			h.violate("%s: forgery sign: %v", label, err)
-			return
-		}
-		b, err := m.Encode()
-		if err != nil {
-			h.violate("%s: forgery encode: %v", label, err)
-			return
-		}
-		_, _ = s.Host.PacketOut(b)
-		after, _ := s.Host.SW.RegisterRead("lat", forgeryIndex)
-		verAfter, _ := s.Host.SW.RegisterRead(core.RegVer, core.KeyIndexLocal)
-		floorAfter, _ := s.Host.SW.RegisterRead(core.RegSeq, 0)
-		if after != before {
-			h.violate("%s: FORGERY ACCEPTED on %s: lat[%d] %d -> %d",
-				label, n, forgeryIndex, before, after)
-		}
-		if verAfter != verBefore {
-			h.violate("%s: forgery moved key version on %s: %d -> %d",
-				label, n, verBefore, verAfter)
-		}
-		if floorAfter != floorBefore {
-			h.violate("%s: forgery advanced replay floor on %s: %d -> %d",
-				label, n, floorBefore, floorAfter)
-		}
-	}
-	h.trace("%s: forgery bounced off all %d switches", label, len(h.names))
+	sweepForgeries(label, h.names, h.sw, &h.rng, h.violate, h.trace)
 }
 
 // readHAFloors returns the full RegSeq file of a switch.

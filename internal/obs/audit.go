@@ -55,6 +55,17 @@ const (
 	// fence (deposed, superseded, or never the holder); Actor is the
 	// refused replica and Value the epoch it held.
 	EvFencedWrite
+	// EvDegraded: a replica's bounded-staleness fence transitioned — the
+	// store became unreadable and the cached grant started admitting
+	// (enter), the store came back (exit), or the grace ran out and the
+	// replica fenced itself (exhausted). Actor is the replica, Cause the
+	// transition, Value the held epoch.
+	EvDegraded
+	// EvElection: a controller group elected a new active. Actor is the
+	// winner, Cause the trigger, Seq the number of candidates that died
+	// mid-promotion before the winner (chained succession depth), Value
+	// the winning epoch.
+	EvElection
 )
 
 var eventNames = map[EventType]string{
@@ -72,6 +83,8 @@ var eventNames = map[EventType]string{
 	EvLinkState:        "link_state",
 	EvFailover:         "failover",
 	EvFencedWrite:      "fenced_write",
+	EvDegraded:         "degraded_fence",
+	EvElection:         "election",
 }
 
 // String returns the stable snake_case name of the event type.

@@ -21,6 +21,13 @@ func FuzzDecodeLease(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("PALS"))
 	f.Add([]byte("PALS\x01\x00\x00"))
+	// Length-field edge cases: a claimed 0xFFFF-byte holder over a short
+	// body, a zero-length claim over a long body (the shape the old
+	// silent-truncation bug would have produced for a 65536-byte
+	// holder), and a max-epoch grant about to overflow the fence.
+	f.Add([]byte("PALS\x01\xff\xffshort"))
+	f.Add(append([]byte("PALS\x01\x00\x00"), make([]byte, 64)...))
+	f.Add((&Lease{Holder: "edge", Epoch: ^uint64(0) - 1, GrantedNs: 1, TTLNs: 1}).Encode())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		l, err := DecodeLease(data)
 		if err != nil {

@@ -19,6 +19,7 @@ package statestore
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"sort"
@@ -26,6 +27,13 @@ import (
 
 // LeaseKey is the well-known store key of the controller lease record.
 const LeaseKey = "ha/lease"
+
+// MaxLeaseHolderLen is the longest holder name a PALS record can carry:
+// the codec's length field is 16 bits. Writers must validate before
+// encoding (ha.NewLeaseManager does); Encode refuses loudly rather than
+// wrapping the length field into a record that decodes as a different
+// holder.
+const MaxLeaseHolderLen = 65535
 
 // leaseMagic is "PALS" (P4Auth Lease State).
 const leaseMagic = 0x50414C53
@@ -66,7 +74,16 @@ func (l *Lease) Dump() string {
 // Encode renders the lease in the PALS format:
 //
 //	magic "PALS" | version | holder (len16+bytes) | epoch | grantedNs | ttlNs | CRC32
+//
+// A holder longer than MaxLeaseHolderLen cannot be represented — the
+// 16-bit length field would wrap and the record would carry a silently
+// mangled identity. That is a writer bug, not an input condition
+// (NewLeaseManager validates names), so Encode panics instead of
+// producing a corrupt fencing root.
 func (l *Lease) Encode() []byte {
+	if len(l.Holder) > MaxLeaseHolderLen {
+		panic(fmt.Sprintf("statestore: lease holder is %d bytes, max %d", len(l.Holder), MaxLeaseHolderLen))
+	}
 	b := make([]byte, 0, 5+2+len(l.Holder)+24+4)
 	b = binary.BigEndian.AppendUint32(b, leaseMagic)
 	b = append(b, leaseVersion)
@@ -205,8 +222,11 @@ func NewTailer(st Store, prefix string) *Tailer {
 
 // Poll returns the changes since the previous Poll, sorted by key with
 // deletions last — a deterministic order, as chaos replay requires. A
-// key that vanishes between the listing and the read is reported on the
-// next poll instead; a torn read cannot happen (Save is atomic per key).
+// key that vanishes between the listing and the read (ErrNotFound) is
+// reported on the next poll instead; a torn read cannot happen (Save is
+// atomic per key). Any other Load failure is a real I/O error and is
+// surfaced to the caller — a standby that silently skipped records
+// during a store brown-out would promote over a hole in its tail.
 func (t *Tailer) Poll() ([]Change, error) {
 	keys, err := t.st.Keys(t.prefix)
 	if err != nil {
@@ -216,8 +236,11 @@ func (t *Tailer) Poll() ([]Change, error) {
 	live := make(map[string]bool, len(keys))
 	for _, k := range keys {
 		v, err := t.st.Load(k)
-		if err != nil {
+		if errors.Is(err, ErrNotFound) {
 			continue // deleted mid-poll; picked up next time
+		}
+		if err != nil {
+			return nil, fmt.Errorf("statestore: tail %s: %w", k, err)
 		}
 		live[k] = true
 		sig := sigOf(v)

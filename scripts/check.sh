@@ -32,6 +32,11 @@ go test -race ./...
 #                 against the lease-fenced active/standby pair: zero
 #                 forged or stale-fenced writes applied, bounded
 #                 failover, reconciled audit, bit-identical traces
+#   group-chaos   rolling kills across 3-5 ranked replicas, store
+#                 outages against the bounded-staleness fence, and
+#                 multi-way lease acquisition races: same invariants as
+#                 ha-chaos plus at most one fenced-active per instant
+#                 and fail-safe fencing when the grace runs out
 #   stress        pipelined writers vs concurrent rollovers under fault
 #                 taps, the sharded-switch suite, and the HA failover
 #                 stress (-count=1 for fresh interleavings)
@@ -40,7 +45,7 @@ go test -race ./...
 #                 checked-in seed corpora
 #   bench-smoke   the zero-allocation hot path through the real
 #                 benchmark harness
-echo "== concurrent gates (chaos, fabric-chaos, ha-chaos, stress, cover, fuzz-smoke, bench-smoke)"
+echo "== concurrent gates (chaos, fabric-chaos, ha-chaos, group-chaos, stress, cover, fuzz-smoke, bench-smoke)"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -62,6 +67,7 @@ run() {
 run chaos        go test -race -count=1 -run 'TestChaosShort|TestChaosDeterminism' ./internal/netsim/chaos/
 run fabric-chaos go test -race -count=1 -run 'TestFabricShort|TestFabricDeterminism' ./internal/netsim/chaos/
 run ha-chaos     go test -race -count=1 -run 'TestHAShort|TestHADeterminism' ./internal/netsim/chaos/
+run group-chaos  go test -race -count=1 -run 'TestGroupShort|TestGroupDeterminism' ./internal/netsim/chaos/
 run stress       go test -race -count=1 ./internal/controller/ ./internal/pisa/ ./internal/ha/
 run cover        ./scripts/cover.sh
 run fuzz-smoke   ./scripts/fuzz_smoke.sh
@@ -70,7 +76,7 @@ run bench-smoke  go test -bench=BenchmarkAuthenticatedWrite -benchtime=10x -run 
 wait
 
 failed=0
-for name in chaos fabric-chaos ha-chaos stress cover fuzz-smoke bench-smoke; do
+for name in chaos fabric-chaos ha-chaos group-chaos stress cover fuzz-smoke bench-smoke; do
     status="$(cat "$tmp/$name.status" 2>/dev/null || echo 1)"
     if [ "$status" != 0 ]; then
         echo "== FAILED: $name"

@@ -4,7 +4,9 @@
 # long campaign — it catches regressions where a codec change breaks the
 # round-trip property on inputs one generation of mutation away from the
 # seeds. New crashers land in the package's testdata/fuzz/ and become
-# permanent regression inputs.
+# permanent regression inputs. FuzzDecodeLease's in-test seeds include
+# the codec edge cases (max-epoch grants, maximum-length holders, torn
+# and truncated records) alongside its corpus.
 set -eu
 
 cd "$(dirname "$0")/.."
