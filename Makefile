@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-save bench-smoke chaos fabric-chaos ha-chaos group-chaos stress cover fuzz-smoke
+.PHONY: check build vet test race bench bench-save bench-smoke bench-parallel chaos fabric-chaos ha-chaos group-chaos stress pisa-race cover fuzz-smoke
 
-check: build vet race chaos fabric-chaos ha-chaos group-chaos stress cover fuzz-smoke bench-smoke
+check: build vet race chaos fabric-chaos ha-chaos group-chaos stress pisa-race cover fuzz-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,13 @@ group-chaos:
 stress:
 	$(GO) test -race -count=1 ./internal/controller/ ./internal/pisa/ ./internal/ha/
 
+# Parallel data-plane gate: the worker pool, sharded counters, and batch
+# ingress path under the race detector, with fresh interleavings
+# (-count=1). Covers worker-vs-serial equivalence, batch determinism,
+# and concurrent control-plane mutation during batches.
+pisa-race:
+	$(GO) test -race -count=1 ./internal/pisa/...
+
 # Coverage floor (>= 85%) for the trust-boundary packages: core codecs
 # and key machinery, crypto primitives, and the observability layer.
 cover:
@@ -79,3 +86,9 @@ bench:
 # plus the serial-vs-pipelined Fig. 19 sweep, checked in as BENCH_<date>.json.
 bench-save:
 	$(GO) run ./cmd/p4auth-bench -save BENCH_$$(date -u +%Y-%m-%d).json
+
+# Parallel ingress sweep (workers x window over authenticated DP-DP
+# probes) printed as a report; the machine-readable rows land in the
+# bench-save artifact.
+bench-parallel:
+	$(GO) run ./cmd/p4auth-bench -exp fig19par

@@ -32,12 +32,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if e := bj.Env; e != nil {
+			fmt.Printf("env    GOMAXPROCS=%d NumCPU=%d %s\n", e.GoMaxProcs, e.NumCPU, e.GoVersion)
+		}
 		for _, m := range bj.Micro {
 			fmt.Printf("%-24s %12.1f ns/op %8d B/op %6d allocs/op\n",
 				m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
 		}
 		for _, r := range bj.Fig19Pipe {
 			fmt.Printf("fig19p window %-3d %12.0f req/s %8.2fx\n", r.Window, r.Tput, r.Speedup)
+		}
+		for _, r := range bj.Parallel {
+			fmt.Printf("fig19par w%-2d window %-3d %12.0f probes/s %8.2fx lanes %6.1fx vs serial\n",
+				r.Workers, r.Window, r.Tput, r.SpeedupVsW1, r.SpeedupVsFig19Serial)
 		}
 		if f := bj.Fleet; f != nil {
 			fmt.Printf("fleet  %d switches w%-3d %12.0f writes/s (serial %.0f/s) failover %.1fms epoch %d\n",

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -60,11 +61,23 @@ type FleetBlock struct {
 	FailoverEpoch uint64  `json:"failover_epoch"`
 }
 
+// EnvBlock records the machine context the numbers were taken on, so
+// bench artifacts stay comparable across hosts: the modeled times don't
+// depend on the machine, but wall-clock micro-benchmarks and the worker
+// sweep's real parallelism do.
+type EnvBlock struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+}
+
 // BenchJSON is the checked-in benchmark artifact.
 type BenchJSON struct {
 	Date      string        `json:"date"`
+	Env       *EnvBlock     `json:"env,omitempty"`
 	Micro     []MicroResult `json:"micro"`
 	Fig19Pipe []TputRow     `json:"fig19_pipelined"`
+	Parallel  []ParallelRow `json:"fig19_parallel,omitempty"`
 	Fleet     *FleetBlock   `json:"fleet,omitempty"`
 	Group     []GroupRow    `json:"group_failover,omitempty"`
 	Metrics   *MetricsBlock `json:"metrics,omitempty"`
@@ -83,7 +96,14 @@ func micro(name string, fn func(b *testing.B)) MicroResult {
 // CollectBenchJSON runs the micro-benchmarks and the pipelined Fig. 19
 // sweep. The date is supplied by the caller (it names the artifact).
 func CollectBenchJSON(date string) (*BenchJSON, error) {
-	out := &BenchJSON{Date: date}
+	out := &BenchJSON{
+		Date: date,
+		Env: &EnvBlock{
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			GoVersion:  runtime.Version(),
+		},
+	}
 
 	// Wire-level primitives, measured exactly like core's alloc gates.
 	d := crypto.SharedHalfSipHashDigester()
@@ -187,6 +207,12 @@ func CollectBenchJSON(date string) (*BenchJSON, error) {
 			speedup = tput / serial
 		}
 		out.Fig19Pipe = append(out.Fig19Pipe, TputRow{Window: w, Tput: tput, Speedup: speedup})
+	}
+
+	// Parallel ingress sweep (workers × window over DP-DP probes), using
+	// the serial C-DP throughput just measured as the cross-path baseline.
+	if out.Parallel, err = Fig19ParallelRows(DefaultFig19ParallelOpts(), serial); err != nil {
+		return nil, err
 	}
 
 	// Fleet-scale sharded throughput + HA failover time.

@@ -102,6 +102,18 @@ type swHandle struct {
 	rxBufs []*core.MessageBuf
 	txMsg  core.Message
 	txReg  core.RegPayload
+	// Batch-verify scratch (runBatch): per-response digest inputs carved
+	// out of vfyBuf at the vfyOffs boundaries, per-response verdicts, and
+	// the per-key-version gather arrays handed to crypto.VerifyBatch.
+	vfyBuf    []byte
+	vfyOffs   []int
+	vfyOK     []bool
+	vfyMember []bool
+	vfyDone   []bool
+	gDatas    [][]byte
+	gGot      []uint32
+	gOK       []bool
+	gIdx      []int
 }
 
 type portKey struct {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"p4auth/internal/core"
+	"p4auth/internal/crypto"
 	"p4auth/internal/obs"
 )
 
@@ -265,12 +266,17 @@ func (c *Controller) runBatch(h *swHandle, entries []batchEntry, window int) Bat
 			break
 		}
 
-		for _, r := range resp {
-			key, kerr := h.keys.At(core.KeyIndexLocal, r.KeyVersion)
-			if kerr != nil {
+		// One VerifyBatch per key version replaces per-response Verify:
+		// the digest kernel's key setup is paid once per window and the
+		// verdicts come back positionally, so the settle loop below is
+		// pure bookkeeping. Alert/settle side effects stay in response
+		// order, identical to the per-response path.
+		c.verifyResponses(h, resp)
+		for i, r := range resp {
+			if !h.vfyMember[i] {
 				continue // unverifiable version: the entry just retries
 			}
-			if !r.Verify(h.dig, key) {
+			if !h.vfyOK[i] {
 				c.noteAlert(h.name, core.AlertBadDigest, r.SeqNum, CauseResponseDigest)
 				continue
 			}
@@ -321,6 +327,8 @@ func (c *Controller) runBatch(h *swHandle, entries []batchEntry, window int) Bat
 			if e.read {
 				v := r.Reg.Value
 				if h.cfg.Encrypt {
+					// Resolvable by construction: vfyMember[i] held above.
+					key, _ := h.keys.At(core.KeyIndexLocal, r.KeyVersion)
 					v = core.EncryptResponseValue(h.dig, key, r.SeqNum, v)
 				}
 				e.val = v
@@ -348,6 +356,58 @@ func (c *Controller) runBatch(h *swHandle, entries []batchEntry, window int) Bat
 		}
 	}
 	return c.finishBatch(h, &br, entries)
+}
+
+// growBools sizes a reusable bool scratch to n without allocating in
+// steady state.
+func growBools(b []bool, n int) []bool {
+	for cap(b) < n {
+		b = append(b[:cap(b)], false)
+	}
+	return b[:n]
+}
+
+// verifyResponses batch-verifies one wire round's responses, filling
+// h.vfyMember (the response's key version resolves) and h.vfyOK (the
+// digest verified) positionally. Responses are grouped by key version —
+// in the steady state one group covers the whole window — and each group
+// goes through a single crypto.VerifyBatch call, which pays the digest
+// kernel's key setup once. Requires h.opMu.
+func (c *Controller) verifyResponses(h *swHandle, resp []*core.Message) {
+	n := len(resp)
+	h.vfyOK = growBools(h.vfyOK, n)
+	h.vfyMember = growBools(h.vfyMember, n)
+	h.vfyDone = growBools(h.vfyDone, n)
+	h.vfyBuf = h.vfyBuf[:0]
+	h.vfyOffs = append(h.vfyOffs[:0], 0)
+	for i, r := range resp {
+		h.vfyBuf = r.AppendDigestInput(h.vfyBuf)
+		h.vfyOffs = append(h.vfyOffs, len(h.vfyBuf))
+		h.vfyOK[i], h.vfyDone[i] = false, false
+		_, kerr := h.keys.At(core.KeyIndexLocal, r.KeyVersion)
+		h.vfyMember[i] = kerr == nil
+	}
+	for i := 0; i < n; i++ {
+		if !h.vfyMember[i] || h.vfyDone[i] {
+			continue
+		}
+		ver := resp[i].KeyVersion
+		key, _ := h.keys.At(core.KeyIndexLocal, ver)
+		h.gDatas, h.gGot, h.gIdx = h.gDatas[:0], h.gGot[:0], h.gIdx[:0]
+		for j := i; j < n; j++ {
+			if h.vfyMember[j] && !h.vfyDone[j] && resp[j].KeyVersion == ver {
+				h.gDatas = append(h.gDatas, h.vfyBuf[h.vfyOffs[j]:h.vfyOffs[j+1]])
+				h.gGot = append(h.gGot, resp[j].Digest)
+				h.gIdx = append(h.gIdx, j)
+				h.vfyDone[j] = true
+			}
+		}
+		h.gOK = growBools(h.gOK, len(h.gIdx))
+		crypto.VerifyBatch(h.dig, key, h.gDatas, h.gGot, h.gOK)
+		for k, j := range h.gIdx {
+			h.vfyOK[j] = h.gOK[k]
+		}
+	}
 }
 
 // finishBatch folds per-entry outcomes into the result and accounts each

@@ -1,0 +1,77 @@
+// Batch digest path: sign or verify N messages under one key in a single
+// call, amortizing the per-message key setup (the CRC32 key-envelope
+// prefix, the HalfSipHash key mix) and the interface dispatch that the
+// one-at-a-time Sum32 path pays per message. The per-message work is
+// otherwise identical — a batch of one produces exactly the single-shot
+// digest — so callers may mix the paths freely.
+package crypto
+
+import (
+	"crypto/subtle"
+	"encoding/binary"
+	"sync"
+)
+
+// batchPRF32 is implemented by digesters with a key-amortized batch
+// kernel. KeyedCRC32 and HalfSipHash (and their Digester wrappers, by
+// embedding) provide it; anything else falls back to per-item Sum32.
+type batchPRF32 interface {
+	SumBatch32(key uint64, datas [][]byte, out []uint32)
+}
+
+// sumBatch dispatches to the digester's batch kernel when it has one.
+func sumBatch(d PRF32, key uint64, datas [][]byte, out []uint32) {
+	if b, ok := d.(batchPRF32); ok {
+		b.SumBatch32(key, datas, out)
+		return
+	}
+	for i, data := range datas {
+		out[i] = d.Sum32(key, data)
+	}
+}
+
+// SignBatch computes the digest of each input under one key, writing
+// out[i] for datas[i]. out must have at least len(datas) entries.
+func SignBatch(d PRF32, key uint64, datas [][]byte, out []uint32) {
+	if len(out) < len(datas) {
+		panic("crypto: SignBatch output shorter than input")
+	}
+	sumBatch(d, key, datas, out[:len(datas)])
+}
+
+// sumScratch pools the recomputed-digest buffer VerifyBatch compares
+// against, so the steady-state verify path does not allocate.
+var sumScratch = sync.Pool{New: func() any {
+	b := make([]uint32, 0, 64)
+	return &b
+}}
+
+// VerifyBatch recomputes the digest of each input under one key and
+// compares it with got[i] in constant time per item, writing ok[i] and
+// returning the number of items that verified. got and ok must have at
+// least len(datas) entries.
+func VerifyBatch(d PRF32, key uint64, datas [][]byte, got []uint32, ok []bool) int {
+	if len(got) < len(datas) || len(ok) < len(datas) {
+		panic("crypto: VerifyBatch digest/result slices shorter than input")
+	}
+	bp := sumScratch.Get().(*[]uint32)
+	sums := *bp
+	if cap(sums) < len(datas) {
+		sums = make([]uint32, len(datas))
+	}
+	sums = sums[:len(datas)]
+	sumBatch(d, key, datas, sums)
+	n := 0
+	var a, b [4]byte
+	for i := range datas {
+		binary.BigEndian.PutUint32(a[:], sums[i])
+		binary.BigEndian.PutUint32(b[:], got[i])
+		ok[i] = subtle.ConstantTimeCompare(a[:], b[:]) == 1
+		if ok[i] {
+			n++
+		}
+	}
+	*bp = sums[:0]
+	sumScratch.Put(bp)
+	return n
+}

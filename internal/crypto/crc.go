@@ -41,6 +41,17 @@ func (k KeyedCRC32) Sum32(key uint64, data []byte) uint32 {
 	return k.updateKey(c, key)
 }
 
+// SumBatch32 computes the keyed digest of each input under one key,
+// writing out[i] for datas[i]. The leading key-envelope pass (a pure
+// function of the key) is computed once and reused for the whole batch;
+// out must have len(datas) entries.
+func (k KeyedCRC32) SumBatch32(key uint64, datas [][]byte, out []uint32) {
+	pre := k.updateKey(0, key)
+	for i, d := range datas {
+		out[i] = k.updateKey(crc32.Update(pre, k.table, d), key)
+	}
+}
+
 // updateKey advances crc over the key's 8 little-endian bytes, matching
 // crc32.Update's result byte for byte.
 func (k KeyedCRC32) updateKey(crc uint32, key uint64) uint32 {

@@ -21,17 +21,43 @@ func NewHalfSipHash24() HalfSipHash {
 	return HalfSipHash{CRounds: 2, DRounds: 4}
 }
 
-// Sum32 computes the 32-bit HalfSipHash of data under the 64-bit key. The
-// key is split little-endian into two 32-bit words, matching the reference
-// implementation.
-func (h HalfSipHash) Sum32(key uint64, data []byte) uint32 {
+// sipState is the key-mixed initial state: everything about the key the
+// compression loop needs, computed once and reusable across messages.
+type sipState struct{ v0, v1, v2, v3 uint32 }
+
+// initState mixes the 64-bit key (split little-endian into two 32-bit
+// words, matching the reference implementation) into the IV.
+func initState(key uint64) sipState {
 	k0 := uint32(key)
 	k1 := uint32(key >> 32)
+	return sipState{
+		v0: 0 ^ k0,
+		v1: 0 ^ k1,
+		v2: 0x6c796765 ^ k0,
+		v3: 0x74656462 ^ k1,
+	}
+}
 
-	v0 := uint32(0) ^ k0
-	v1 := uint32(0) ^ k1
-	v2 := uint32(0x6c796765) ^ k0
-	v3 := uint32(0x74656462) ^ k1
+// Sum32 computes the 32-bit HalfSipHash of data under the 64-bit key.
+func (h HalfSipHash) Sum32(key uint64, data []byte) uint32 {
+	return h.sumFrom(initState(key), data)
+}
+
+// SumBatch32 computes the digest of each input under one key, writing
+// out[i] for datas[i]. The key mix is performed once for the whole batch;
+// out must have len(datas) entries. This is the kernel behind
+// SignBatch/VerifyBatch.
+func (h HalfSipHash) SumBatch32(key uint64, datas [][]byte, out []uint32) {
+	st := initState(key)
+	for i, d := range datas {
+		out[i] = h.sumFrom(st, d)
+	}
+}
+
+// sumFrom runs the compression and finalization over data starting from a
+// prepared key state.
+func (h HalfSipHash) sumFrom(st sipState, data []byte) uint32 {
+	v0, v1, v2, v3 := st.v0, st.v1, st.v2, st.v3
 
 	round := func() {
 		v0 += v1

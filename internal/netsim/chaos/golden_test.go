@@ -1,0 +1,177 @@
+package chaos
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Golden-trace regression gate for the parallel data plane work: the
+// chaos harnesses must keep producing *the same bytes* as the serial
+// switch did before the worker pool existed, not merely be internally
+// deterministic. TestChaosDeterminism and friends catch
+// run-to-run divergence; this test catches commit-to-commit divergence
+// by pinning a SHA-256 of each representative trace in
+// testdata/trace_goldens.txt, captured from the pre-parallel tree.
+//
+// Regenerate (only when a trace change is intended and reviewed) with:
+//
+//	CHAOS_GOLDEN_UPDATE=1 go test -run TestTraceGoldens ./internal/netsim/chaos/
+const goldenPath = "testdata/trace_goldens.txt"
+
+// goldenRun is one pinned harness invocation. The set spans all four
+// chaos gates so every seeded code path through the switch (C-DP
+// writes, rollovers, DP-DP probes, HA failover load) is covered.
+type goldenRun struct {
+	name string
+	run  func() ([]string, error)
+}
+
+func goldenRuns() []goldenRun {
+	return []goldenRun{
+		{"chaos/rollover-controller", func() ([]string, error) {
+			r, err := Run(Options{Seed: 42, Scenario: MidRollover, Victim: KillController, CrashAt: 2, WarmDevice: true})
+			if err != nil {
+				return nil, err
+			}
+			return r.Trace, nil
+		}},
+		{"chaos/regwrite-switch-cold", func() ([]string, error) {
+			r, err := Run(Options{Seed: 42, Scenario: MidRegisterWrite, Victim: CrashSwitch, CrashAt: 2, WarmDevice: false})
+			if err != nil {
+				return nil, err
+			}
+			return r.Trace, nil
+		}},
+		{"chaos/portinit-back-to-back", func() ([]string, error) {
+			r, err := Run(Options{Seed: 7, Scenario: MidPortKeyInit, Victim: BackToBack, CrashAt: 3, WarmDevice: true})
+			if err != nil {
+				return nil, err
+			}
+			return r.Trace, nil
+		}},
+		{"fabric/flap", func() ([]string, error) {
+			r, err := RunFabric(FabricOptions{Seed: 11, Scenario: FabricFlap})
+			if err != nil {
+				return nil, err
+			}
+			return r.Trace, nil
+		}},
+		{"fabric/skew", func() ([]string, error) {
+			r, err := RunFabric(FabricOptions{Seed: 11, Scenario: FabricSkew})
+			if err != nil {
+				return nil, err
+			}
+			return r.Trace, nil
+		}},
+		{"ha/kill-active", func() ([]string, error) {
+			r, err := RunHA(HAOptions{Seed: 5, Switches: 4, Scenario: HAKill, TTL: 5 * time.Millisecond})
+			if err != nil {
+				return nil, err
+			}
+			return r.Trace, nil
+		}},
+		{"group/rolling-kill", func() ([]string, error) {
+			r, err := RunGroup(GroupOptions{Seed: 9, Replicas: 3, Switches: 4, Scenario: GroupRollingKill, TTL: 5 * time.Millisecond})
+			if err != nil {
+				return nil, err
+			}
+			return r.Trace, nil
+		}},
+	}
+}
+
+func traceHash(trace []string) string {
+	h := sha256.New()
+	for _, line := range trace {
+		h.Write([]byte(line))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func loadGoldens(t *testing.T) map[string]string {
+	t.Helper()
+	f, err := os.Open(goldenPath)
+	if err != nil {
+		t.Fatalf("open goldens (run with CHAOS_GOLDEN_UPDATE=1 to create): %v", err)
+	}
+	defer f.Close()
+	out := map[string]string{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed golden line: %q", line)
+		}
+		out[fields[0]] = fields[1]
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestTraceGoldens pins the chaos traces to their pre-parallel bytes.
+// The default (workers=1) switch mode must reproduce these forever.
+func TestTraceGoldens(t *testing.T) {
+	runs := goldenRuns()
+	got := make(map[string]string, len(runs))
+	for _, gr := range runs {
+		trace, err := gr.run()
+		if err != nil {
+			t.Fatalf("%s: %v", gr.name, err)
+		}
+		got[gr.name] = traceHash(trace)
+	}
+
+	if os.Getenv("CHAOS_GOLDEN_UPDATE") != "" {
+		names := make([]string, 0, len(got))
+		for n := range got {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		var b strings.Builder
+		b.WriteString("# SHA-256 of each pinned chaos trace (lines joined by \\n).\n")
+		b.WriteString("# Captured from the serial (pre-worker-pool) switch; workers=1\n")
+		b.WriteString("# must stay byte-identical. Regenerate: CHAOS_GOLDEN_UPDATE=1\n")
+		for _, n := range names {
+			fmt.Fprintf(&b, "%s %s\n", n, got[n])
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d goldens to %s", len(got), goldenPath)
+		return
+	}
+
+	want := loadGoldens(t)
+	for name, hash := range got {
+		pinned, ok := want[name]
+		if !ok {
+			t.Errorf("%s: no pinned golden (regenerate with CHAOS_GOLDEN_UPDATE=1)", name)
+			continue
+		}
+		if pinned != hash {
+			t.Errorf("%s: trace diverged from pre-parallel golden\n  pinned %s\n  got    %s", name, pinned, hash)
+		}
+	}
+	for name := range want {
+		if _, ok := got[name]; !ok {
+			t.Errorf("golden %s has no matching run", name)
+		}
+	}
+}

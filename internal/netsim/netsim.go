@@ -14,12 +14,22 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
 // Sim is a discrete-event simulator. The zero value is not usable; call
 // NewSim.
+//
+// Scheduling (At/After/Send) is safe to call from any goroutine — the
+// parallel switch's ingress workers emit packets concurrently — but event
+// EXECUTION stays single-threaded: one goroutine drives Step/Run/RunUntil
+// and event functions run on it with no simulator lock held, so handlers
+// re-enter Send freely. Serial users see the exact pre-lock behavior:
+// identical event order (time, then schedule sequence) and identical
+// traces.
 type Sim struct {
+	mu  sync.Mutex
 	now time.Duration
 	pq  eventHeap
 	seq uint64
@@ -31,29 +41,46 @@ func NewSim() *Sim {
 }
 
 // Now returns the current virtual time.
-func (s *Sim) Now() time.Duration { return s.now }
+func (s *Sim) Now() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
 
 // At schedules fn at absolute virtual time t (clamped to now).
 func (s *Sim) At(t time.Duration, fn func()) {
+	s.mu.Lock()
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
 	heap.Push(&s.pq, &event{at: t, seq: s.seq, fn: fn})
+	s.mu.Unlock()
 }
 
 // After schedules fn d after the current virtual time.
 func (s *Sim) After(d time.Duration, fn func()) {
-	s.At(s.now+d, fn)
+	s.mu.Lock()
+	t := s.now + d
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.pq, &event{at: t, seq: s.seq, fn: fn})
+	s.mu.Unlock()
 }
 
 // Step executes the next event; it reports false when the queue is empty.
+// The event function runs with the simulator unlocked.
 func (s *Sim) Step() bool {
+	s.mu.Lock()
 	if s.pq.Len() == 0 {
+		s.mu.Unlock()
 		return false
 	}
 	ev := heap.Pop(&s.pq).(*event)
 	s.now = ev.at
+	s.mu.Unlock()
 	ev.fn()
 	return true
 }
@@ -68,18 +95,31 @@ func (s *Sim) Run() {
 // clock forward by d — a virtual sleep, used by protocol engines (e.g. the
 // controller's retransmission backoff) that wait on the simulated clock.
 func (s *Sim) Advance(d time.Duration) {
-	s.RunUntil(s.now + d)
+	s.mu.Lock()
+	t := s.now + d
+	s.mu.Unlock()
+	s.RunUntil(t)
 }
 
 // RunUntil executes events with timestamps <= t, then advances the clock
 // to t.
 func (s *Sim) RunUntil(t time.Duration) {
-	for s.pq.Len() > 0 && s.pq[0].at <= t {
-		s.Step()
+	for {
+		s.mu.Lock()
+		if s.pq.Len() == 0 || s.pq[0].at > t {
+			s.mu.Unlock()
+			break
+		}
+		ev := heap.Pop(&s.pq).(*event)
+		s.now = ev.at
+		s.mu.Unlock()
+		ev.fn()
 	}
+	s.mu.Lock()
 	if s.now < t {
 		s.now = t
 	}
+	s.mu.Unlock()
 }
 
 type event struct {
@@ -141,6 +181,10 @@ type Link struct {
 	Delay time.Duration
 	// Bandwidth in bits per second; 0 = infinite (no serialization).
 	Bandwidth float64
+	// mu guards down and both ends' queueing/utilization accounting so
+	// concurrent Send calls (parallel switch workers) stay race-free. Never
+	// held across tap, handler, or simulator calls.
+	mu sync.Mutex
 	// down cuts the link (both directions) administratively; checked at
 	// delivery time, so packets in flight when the link drops are lost.
 	// Kept separate from taps: user-installed fault taps compose on top.
@@ -232,6 +276,8 @@ func (n *Network) MustConnect(nodeA string, portA int, nodeB string, portB int, 
 // SetTap installs (or clears, with nil) a tap on the direction of the link
 // that *enters* the named node: the tap sees packets just before delivery.
 func (l *Link) SetTap(towardNode string, t Tap) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	switch towardNode {
 	case l.a.node.Name:
 		l.a.tap = t
@@ -249,10 +295,18 @@ func (l *Link) Ends() (string, string) { return l.a.node.Name, l.b.node.Name }
 // SetDown cuts (true) or restores (false) the link in both directions.
 // Packets already in flight are lost when the link is down at their
 // delivery time — a cut severs the fiber, not the send queue.
-func (l *Link) SetDown(down bool) { l.down = down }
+func (l *Link) SetDown(down bool) {
+	l.mu.Lock()
+	l.down = down
+	l.mu.Unlock()
+}
 
 // Down reports whether the link is administratively cut.
-func (l *Link) Down() bool { return l.down }
+func (l *Link) Down() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.down
+}
 
 // Send transmits data from node's port after delay extraDelay (the sender's
 // local processing time). It returns an error if the port is unconnected.
@@ -265,31 +319,41 @@ func (n *Network) Send(node *Node, port int, data []byte, extraDelay time.Durati
 	d := make([]byte, len(data))
 	copy(d, data)
 
-	ready := n.Sim.Now() + extraDelay
+	now := n.Sim.Now()
+	ready := now + extraDelay
 	ser := time.Duration(0)
 	if l.Bandwidth > 0 {
 		ser = time.Duration(float64(len(d)*8) / l.Bandwidth * float64(time.Second))
 	}
 	// FIFO queueing on this direction of the link.
+	l.mu.Lock()
 	start := ready
 	if end.busyUntil > start {
 		start = end.busyUntil
 	}
 	depart := start + ser
 	end.busyUntil = depart
-	end.recordBytes(n.Sim.Now(), len(d))
+	end.recordBytes(now, len(d))
+	l.mu.Unlock()
 
 	dst := end.peer
 	n.Sim.At(depart+l.Delay, func() {
-		if l.down {
+		l.mu.Lock()
+		down, tap := l.down, dst.tap
+		if down {
 			dst.dropped++
+		}
+		l.mu.Unlock()
+		if down {
 			return
 		}
 		payload := d
-		if dst.tap != nil {
-			payload = dst.tap(payload)
+		if tap != nil {
+			payload = tap(payload)
 			if payload == nil {
+				l.mu.Lock()
 				dst.dropped++
+				l.mu.Unlock()
 				return
 			}
 		}
@@ -320,6 +384,8 @@ func (e *linkEnd) recordBytes(now time.Duration, n int) {
 // link, and packets dropped by a tap in the opposite direction before
 // delivery to that node.
 func (l *Link) TxStats(fromNode string) (bytes, packets uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	switch fromNode {
 	case l.a.node.Name:
 		return l.a.totalBytes, l.a.totalPkts, nil
@@ -344,11 +410,14 @@ func (l *Link) Utilization(fromNode string) (float64, error) {
 	if l.Bandwidth <= 0 {
 		return 0, nil
 	}
+	now := l.sim.Now()
 	// Apply decay up to now without recording traffic.
+	l.mu.Lock()
 	rate := e.ewmaBps
-	if dt := l.sim.now - e.ewmaAt; dt > 0 {
+	if dt := now - e.ewmaAt; dt > 0 {
 		rate *= math.Pow(0.5, float64(dt)/float64(utilHalfLife))
 	}
+	l.mu.Unlock()
 	u := rate / l.Bandwidth
 	if u > 1 {
 		u = 1
@@ -381,7 +450,7 @@ func (n *Network) Partition(group ...string) []*Link {
 	var cut []*Link
 	for _, l := range n.links {
 		a, b := l.Ends()
-		if in[a] != in[b] && !l.down {
+		if in[a] != in[b] && !l.Down() {
 			l.SetDown(true)
 			cut = append(cut, l)
 		}
@@ -394,7 +463,7 @@ func (n *Network) Partition(group ...string) []*Link {
 func (n *Network) Heal() int {
 	healed := 0
 	for _, l := range n.links {
-		if l.down {
+		if l.Down() {
 			l.SetDown(false)
 			healed++
 		}

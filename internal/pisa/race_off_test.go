@@ -1,0 +1,8 @@
+//go:build !race
+
+package pisa
+
+// raceEnabled reports whether the race detector is active. Alloc-count
+// guards are skipped under -race: instrumentation changes allocation
+// counts.
+const raceEnabled = false

@@ -3,6 +3,7 @@ package pisa
 import (
 	"fmt"
 	"hash/crc32"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,8 +44,9 @@ type Result struct {
 // for concurrent use. State is sharded so concurrent Process calls
 // overlap: table/multicast mutations take a write lock that packet
 // processing reads, register banks have per-register locks (register
-// read-modify-writes — the replay-floor RMWMax — stay atomic), and
-// counters/clock/RNG are guarded independently.
+// read-modify-writes — the replay-floor RMWMax — stay atomic), diagnostic
+// counters are lock-free sharded atomics, and each in-flight packet draws
+// randomness from its own execution state's source.
 type Switch struct {
 	compiled *Compiled
 
@@ -59,14 +61,17 @@ type Switch struct {
 	regMu []sync.Mutex
 	regs  [][]uint64
 
-	countMu  sync.Mutex
-	counters map[string]uint64
+	// shards are the diagnostic-counter cells: each ingress lane bumps its
+	// own cache-line-padded shard, reads aggregate across all of them.
+	shards [counterShardCount]counterShard
 	// mirror, when set, shadows the diagnostic counters into an obs
-	// registry (see MirrorCounters).
-	mirror atomic.Pointer[map[string]*obs.Counter]
+	// registry, indexed by counter ID (see MirrorCounters).
+	mirror atomic.Pointer[[numDPCounters]*obs.Counter]
 
-	rngMu sync.Mutex
-	rng   crypto.RandomSource
+	// rng is the base random source backing the P4 random() extern. The
+	// serial path draws from it directly (in packet order); worker lanes
+	// draw from deterministic per-lane forks (see parallel.go).
+	rng crypto.RandomSource
 
 	crcIEEE   *crc32.Table
 	crcCast   *crc32.Table
@@ -79,6 +84,11 @@ type Switch struct {
 	// execPool recycles per-packet execution state (PHV, header validity,
 	// hash/table scratch) so steady-state Process does not allocate.
 	execPool sync.Pool
+
+	// workers/pool: the per-port ingress worker pool behind ProcessBatch
+	// (parallel.go). workers <= 1 means the strictly serial data plane.
+	workers int
+	pool    *workerPool
 }
 
 // SetNow sets the ingress timestamp (nanoseconds) stamped into
@@ -92,6 +102,17 @@ type Option func(*Switch)
 // WithRandom sets the random source backing the P4 random() extern.
 func WithRandom(r crypto.RandomSource) Option {
 	return func(s *Switch) { s.rng = r }
+}
+
+// WithWorkers sets the ingress worker count used by ProcessBatch. n <= 1
+// (the default) keeps the switch strictly serial: every packet runs on
+// the caller's goroutine in submission order, bit-identical to the
+// pre-parallel data plane. n > 1 spawns n persistent ingress workers;
+// ProcessBatch assigns packets to lanes by ingress port (port-affinity),
+// so per-port replay floors still observe strictly ascending sequence
+// numbers. Call Close when done with a worker-backed switch.
+func WithWorkers(n int) Option {
+	return func(s *Switch) { s.workers = n }
 }
 
 // NewSwitch compiles the program for the profile and instantiates runtime
@@ -111,7 +132,6 @@ func NewSwitchFromCompiled(compiled *Compiled, opts ...Option) *Switch {
 		compiled:  compiled,
 		rng:       crypto.NewSeededRand(0x9a4aadd),
 		mcast:     make(map[uint64][]int),
-		counters:  make(map[string]uint64),
 		crcIEEE:   crypto.IEEETable(),
 		crcCast:   crypto.CastagnoliTable(),
 		keyedIEEE: crypto.NewKeyedCRC32(),
@@ -133,6 +153,9 @@ func NewSwitchFromCompiled(compiled *Compiled, opts ...Option) *Switch {
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.workers > 1 {
+		s.pool = newWorkerPool(s)
 	}
 	return s
 }
@@ -214,39 +237,114 @@ func (s *Switch) SetMulticastGroup(group uint64, ports []int) {
 	s.mcast[group] = append([]int(nil), ports...)
 }
 
-// Counter returns a named diagnostic counter.
-func (s *Switch) Counter(name string) uint64 {
-	s.countMu.Lock()
-	defer s.countMu.Unlock()
-	return s.counters[name]
+// Diagnostic counter IDs. The set is closed (the interpreter is the only
+// writer), which is what lets the hot path drop the name map and lock for
+// a fixed array of atomic cells.
+const (
+	cntParseError = iota
+	cntRecircOverflow
+	cntDropped
+	cntNoEgress
+	cntEgressDropped
+	cntRegIndexWrap
+	numDPCounters
+)
+
+// dpCounterNames maps counter IDs to their stable external names.
+var dpCounterNames = [numDPCounters]string{
+	cntParseError:     "parse_error",
+	cntRecircOverflow: "recirc_overflow",
+	cntDropped:        "dropped",
+	cntNoEgress:       "no_egress",
+	cntEgressDropped:  "egress_dropped",
+	cntRegIndexWrap:   "reg_index_wrap",
 }
 
-// dpCounters is every diagnostic counter bump may touch, so a mirror can
-// resolve them all up front.
-var dpCounters = []string{
-	"parse_error", "recirc_overflow", "dropped",
-	"no_egress", "egress_dropped", "reg_index_wrap",
+// counterShardCount is the number of independent counter shards; ingress
+// lane L bumps shard L % counterShardCount. Power of two, sized past any
+// realistic worker count.
+const counterShardCount = 8
+
+// counterShard is one lane's counter cells, padded so shards bumped by
+// different workers never share a cache line.
+type counterShard struct {
+	cells [numDPCounters]atomic.Uint64
+	_     [128 - (numDPCounters*8)%128]byte
+}
+
+// counterByID sums one counter across all shards.
+func (s *Switch) counterByID(id int) uint64 {
+	var total uint64
+	for i := range s.shards {
+		total += s.shards[i].cells[id].Load()
+	}
+	return total
+}
+
+// Counter returns a named diagnostic counter (0 for unknown names),
+// aggregated across all ingress lanes.
+func (s *Switch) Counter(name string) uint64 {
+	for id, n := range dpCounterNames {
+		if n == name {
+			return s.counterByID(id)
+		}
+	}
+	return 0
+}
+
+// CounterValue is one named diagnostic counter reading.
+type CounterValue struct {
+	Name  string
+	Value uint64
+}
+
+// counterSnapshotOrder lists counter IDs in lexicographic name order, so
+// snapshots are deterministic without sorting per call.
+var counterSnapshotOrder = func() [numDPCounters]int {
+	var order [numDPCounters]int
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order[:], func(a, b int) bool {
+		return dpCounterNames[order[a]] < dpCounterNames[order[b]]
+	})
+	return order
+}()
+
+// CounterSnapshot returns every diagnostic counter, aggregated across
+// shards, in deterministic (lexicographic name) order. Each counter is
+// read atomically; the snapshot as a whole is not a single atomic cut
+// under concurrent traffic.
+func (s *Switch) CounterSnapshot() []CounterValue {
+	out := make([]CounterValue, 0, numDPCounters)
+	for _, id := range counterSnapshotOrder {
+		out = append(out, CounterValue{Name: dpCounterNames[id], Value: s.counterByID(id)})
+	}
+	return out
 }
 
 // MirrorCounters mirrors the switch's diagnostic counters into an obs
-// registry under the given prefix (e.g. "dp.s1."). The mirror is resolved
-// once here; bump's hot path pays one atomic load and a map read.
+// registry under the given prefix (e.g. "dp.s1."). The mirror reads
+// through the same sharded cells as Counter: counts accumulated before
+// the mirror was installed are folded in here, so the obs view equals the
+// switch's own from the moment of installation, and bump's hot path pays
+// one atomic pointer load plus an indexed increment.
 func (s *Switch) MirrorCounters(reg *obs.Registry, prefix string) {
-	mp := make(map[string]*obs.Counter, len(dpCounters))
-	for _, name := range dpCounters {
-		mp[name] = reg.Counter(prefix + name)
+	var arr [numDPCounters]*obs.Counter
+	for id, name := range dpCounterNames {
+		c := reg.Counter(prefix + name)
+		if cur := s.counterByID(id); cur > c.Load() {
+			c.Add(cur - c.Load())
+		}
+		arr[id] = c
 	}
-	s.mirror.Store(&mp)
+	s.mirror.Store(&arr)
 }
 
-func (s *Switch) bump(name string) {
-	s.countMu.Lock()
-	s.counters[name]++
-	s.countMu.Unlock()
+func (s *Switch) bump(st *execState, id int) {
+	s.shards[st.shard%counterShardCount].cells[id].Add(1)
 	if mp := s.mirror.Load(); mp != nil {
-		if c := (*mp)[name]; c != nil {
-			c.Inc()
-		}
+		mp[id].Inc()
 	}
 }
 
@@ -257,6 +355,13 @@ type execState struct {
 	valid   []bool
 	payload []byte
 	passes  int
+
+	// rng is the random source the random() extern draws from for this
+	// packet: the switch's base source on the serial path (preserving the
+	// exact pre-parallel draw order), a per-lane fork under workers.
+	rng crypto.RandomSource
+	// shard selects the counter shard this packet's bumps land in.
+	shard uint32
 
 	// Reusable scratch, pooled with the state.
 	hashVals   []uint64
@@ -298,18 +403,27 @@ func (s *Switch) Process(pkt Packet) (Result, error) {
 // until the next ProcessInto on the same Result. On error the contents of
 // res are undefined.
 func (s *Switch) ProcessInto(pkt Packet, res *Result) error {
+	return s.processInto(pkt, res, s.rng, 0)
+}
+
+// processInto is ProcessInto with the packet's random source and counter
+// shard chosen by the caller: the serial path passes the switch's base
+// source and shard 0, worker lanes pass their deterministic fork and lane
+// shard.
+func (s *Switch) processInto(pkt Packet, res *Result, rng crypto.RandomSource, shard uint32) error {
 	s.stateMu.RLock()
 	defer s.stateMu.RUnlock()
 
 	st := s.getExec()
 	defer s.putExec(st)
+	st.rng, st.shard = rng, shard
 
 	res.Emissions = res.Emissions[:0]
 	res.Passes = 0
 	res.Cost = 0
 
 	if err := s.parse(st, pkt.Data); err != nil {
-		s.bump("parse_error")
+		s.bump(st, cntParseError)
 		return err
 	}
 	s.setMeta(st, MetaIngressPort, uint64(pkt.Port))
@@ -328,7 +442,7 @@ func (s *Switch) ProcessInto(pkt Packet, res *Result) error {
 			break
 		}
 		if pass+1 >= maxPasses {
-			s.bump("recirc_overflow")
+			s.bump(st, cntRecircOverflow)
 			s.setMeta(st, MetaDrop, 1)
 			break
 		}
@@ -338,7 +452,7 @@ func (s *Switch) ProcessInto(pkt Packet, res *Result) error {
 	res.Passes = st.passes
 	res.Cost = s.compiled.Profile.PacketCost(stages, st.passes, len(st.payload))
 	if s.getMeta(st, MetaDrop) != 0 {
-		s.bump("dropped")
+		s.bump(st, cntDropped)
 		return nil
 	}
 
@@ -355,7 +469,7 @@ func (s *Switch) ProcessInto(pkt Packet, res *Result) error {
 		dests = append(dests, int(s.getMeta(st, MetaEgressPort)))
 	default:
 		if len(dests) == 0 {
-			s.bump("no_egress")
+			s.bump(st, cntNoEgress)
 		}
 	}
 	st.dests = dests
@@ -368,6 +482,7 @@ func (s *Switch) ProcessInto(pkt Packet, res *Result) error {
 			copy(cp.phv, st.phv)
 			copy(cp.valid, st.valid)
 			cp.payload = append(cp.payload[:0], st.payload...)
+			cp.rng, cp.shard = st.rng, st.shard
 			est = cp
 		}
 		s.setMeta(est, MetaEgressPort, uint64(port)&mask(16))
@@ -379,7 +494,7 @@ func (s *Switch) ProcessInto(pkt Packet, res *Result) error {
 				return fmt.Errorf("egress: %w", err)
 			}
 			if s.getMeta(est, MetaDrop) != 0 {
-				s.bump("egress_dropped")
+				s.bump(st, cntEgressDropped)
 				if est != st {
 					s.putExec(est)
 				}
@@ -594,7 +709,7 @@ func (s *Switch) runOps(st *execState, ops []Op, actFrame *opContext) error {
 				return err
 			}
 			if idx >= uint64(def.Entries) {
-				s.bump("reg_index_wrap")
+				s.bump(st, cntRegIndexWrap)
 				idx %= uint64(def.Entries)
 			}
 			switch op.Kind {
@@ -652,9 +767,10 @@ func (s *Switch) runOps(st *execState, ops []Op, actFrame *opContext) error {
 			if err != nil {
 				return err
 			}
-			s.rngMu.Lock()
-			r := s.rng.Uint64()
-			s.rngMu.Unlock()
+			// The exec state's source: the base source on the serial path
+			// (RandomSource implementations are concurrency-safe), a
+			// per-lane deterministic fork under workers.
+			r := st.rng.Uint64()
 			st.phv[slot] = r & mask(w)
 		case OpSetValid:
 			hi := s.compiled.headerIndex[op.Header]

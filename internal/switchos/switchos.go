@@ -369,6 +369,14 @@ type IOResult struct {
 	pres  pisa.Result
 	arena [][]byte
 	nused int
+
+	// bres and the b* slices are the batch path's reusable state: the
+	// pipeline batch result (whose per-packet buffers back NetOut and
+	// PacketIns zero-copy) and the per-window pending-packet scratch (see
+	// batch.go).
+	bres  pisa.BatchResult
+	bpkts []pisa.Packet
+	bmeta []batchMeta
 }
 
 func (io *IOResult) reset() {
@@ -376,6 +384,8 @@ func (io *IOResult) reset() {
 	io.PacketIns = io.PacketIns[:0]
 	io.Cost = 0
 	io.nused = 0
+	io.bpkts = io.bpkts[:0]
+	io.bmeta = io.bmeta[:0]
 }
 
 // grab copies b into the next recycled arena buffer and returns it.
@@ -433,14 +443,26 @@ func (h *Host) PacketOutBatch(datas [][]byte) (IOResult, error) {
 
 // PacketOutBatchInto is PacketOutBatch with a caller-owned, reusable
 // result. PacketIns from all packets of the window are concatenated in
-// send order; callers match responses to requests by seqNum, not
+// send order on a serial switch (cache hits may surface first on a
+// worker-backed one); callers match responses to requests by seqNum, not
 // position.
+//
+// On a serial switch (pisa.Workers() == 1) each packet runs through
+// packetOutOne exactly as before — the virtual-time cost and PacketIn
+// bytes are bit-identical to the pre-batch transport, which the chaos
+// golden traces pin. A worker-backed switch takes the pipelined
+// ProcessBatch path (see batch.go): same total per-packet software costs,
+// but the pipeline portion is the slowest lane instead of the sum, and
+// emission buffers flow upward without the arena copy.
 func (h *Host) PacketOutBatchInto(datas [][]byte, io *IOResult) error {
 	io.reset()
 	if h.down.Load() || len(datas) == 0 {
 		return nil
 	}
 	io.Cost += h.Costs.PacketIOBase
+	if h.SW.Workers() > 1 {
+		return h.packetOutBatchPipelined(datas, io)
+	}
 	for _, data := range datas {
 		if err := h.packetOutOne(data, io, 0); err != nil {
 			return err
@@ -561,16 +583,30 @@ func (h *Host) runPipelineInto(data []byte, port int, io *IOResult, pinBase time
 		return fmt.Errorf("switchos: %s: pipeline: %w", h.Name, err)
 	}
 	io.Cost += io.pres.Cost
-	for _, e := range io.pres.Emissions {
-		// Copy out of the pipeline's recycled buffers: the next ProcessInto
-		// on this IOResult (e.g. the following packet of a batch) reuses
-		// them.
-		kept := io.grab(e.Data)
+	// Copy out of the pipeline's recycled buffers: the next ProcessInto
+	// on this IOResult (e.g. the following packet of a batch) reuses
+	// them. The batch path (ProcessBatch) gives each packet stable
+	// buffers and skips this copy.
+	h.emitResult(&io.pres, io, pinBase, true)
+	return nil
+}
+
+// emitResult walks one pipeline result's emissions, splitting them into
+// NetOut and the PacketIn path (PCIe + driver + hooks upward + agent).
+// copyBufs selects whether emission bytes are copied into io's arena
+// (required when the source Result recycles its buffers per packet) or
+// referenced in place (the zero-copy batch path, whose buffers are stable
+// for the whole batch).
+func (h *Host) emitResult(pres *pisa.Result, io *IOResult, pinBase time.Duration, copyBufs bool) {
+	for _, e := range pres.Emissions {
+		kept := e.Data
+		if copyBufs {
+			kept = io.grab(e.Data)
+		}
 		if e.Port != pisa.CPUPort {
 			io.NetOut = append(io.NetOut, pisa.Emission{Port: e.Port, Data: kept})
 			continue
 		}
-		// PacketIn path: PCIe + driver + hooks upward + agent.
 		io.Cost += h.Costs.PCIe + h.Costs.DriverBase +
 			pinBase + time.Duration(len(e.Data))*h.Costs.PerByte
 		pin := kept
@@ -599,5 +635,4 @@ func (h *Host) runPipelineInto(data []byte, port int, io *IOResult, pinBase time
 			}
 		}
 	}
-	return nil
 }

@@ -40,12 +40,15 @@ go test -race ./...
 #   stress        pipelined writers vs concurrent rollovers under fault
 #                 taps, the sharded-switch suite, and the HA failover
 #                 stress (-count=1 for fresh interleavings)
+#   pisa-race     the parallel data plane (worker pool, sharded
+#                 counters, batch ingress) under the race detector with
+#                 fresh interleavings
 #   cover         >= 85% coverage floor on core, crypto, obs
 #   fuzz-smoke    10s of mutation per codec fuzz target over the
 #                 checked-in seed corpora
 #   bench-smoke   the zero-allocation hot path through the real
 #                 benchmark harness
-echo "== concurrent gates (chaos, fabric-chaos, ha-chaos, group-chaos, stress, cover, fuzz-smoke, bench-smoke)"
+echo "== concurrent gates (chaos, fabric-chaos, ha-chaos, group-chaos, stress, pisa-race, cover, fuzz-smoke, bench-smoke)"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -69,6 +72,7 @@ run fabric-chaos go test -race -count=1 -run 'TestFabricShort|TestFabricDetermin
 run ha-chaos     go test -race -count=1 -run 'TestHAShort|TestHADeterminism' ./internal/netsim/chaos/
 run group-chaos  go test -race -count=1 -run 'TestGroupShort|TestGroupDeterminism' ./internal/netsim/chaos/
 run stress       go test -race -count=1 ./internal/controller/ ./internal/pisa/ ./internal/ha/
+run pisa-race    go test -race -count=1 ./internal/pisa/...
 run cover        ./scripts/cover.sh
 run fuzz-smoke   ./scripts/fuzz_smoke.sh
 run bench-smoke  go test -bench=BenchmarkAuthenticatedWrite -benchtime=10x -run '^$' -short .
@@ -76,7 +80,7 @@ run bench-smoke  go test -bench=BenchmarkAuthenticatedWrite -benchtime=10x -run 
 wait
 
 failed=0
-for name in chaos fabric-chaos ha-chaos group-chaos stress cover fuzz-smoke bench-smoke; do
+for name in chaos fabric-chaos ha-chaos group-chaos stress pisa-race cover fuzz-smoke bench-smoke; do
     status="$(cat "$tmp/$name.status" 2>/dev/null || echo 1)"
     if [ "$status" != 0 ]; then
         echo "== FAILED: $name"
