@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-save bench-smoke bench-parallel chaos fabric-chaos ha-chaos group-chaos stress pisa-race cover fuzz-smoke
+.PHONY: check build vet test race bench bench-save bench-smoke bench-parallel chaos fabric-chaos ha-chaos group-chaos matrix-chaos stress pisa-race cover fuzz-smoke fleet-matrix
 
-check: build vet race chaos fabric-chaos ha-chaos group-chaos stress pisa-race cover fuzz-smoke bench-smoke
+check: build vet race chaos fabric-chaos ha-chaos group-chaos matrix-chaos stress pisa-race cover fuzz-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -48,11 +48,20 @@ ha-chaos:
 group-chaos:
 	$(GO) test -race -count=1 -run 'TestGroupShort|TestGroupDeterminism' ./internal/netsim/chaos/
 
+# Matrix chaos: the full app × fault × protection survival matrix at
+# k=4 under the default seed, plus per-seed determinism reruns. Every
+# run must show zero forged operations applied in every protected cell,
+# measurable corruption in every unprotected attacked cell, and a trace
+# bit-identical to the checked-in golden.
+matrix-chaos:
+	$(GO) test -race -count=1 -run 'TestMatrixChaos|TestMatrixDeterminism' ./internal/fleet/
+
 # Concurrency stress: pipelined writers vs concurrent key rollovers under
-# fault taps, the sharded-switch suite, and the HA replica suite
-# (lease races, failover mid-rollover), with fresh interleavings.
+# fault taps, the sharded-switch suite, the sharded netsim engine, and
+# the HA replica suite (lease races, failover mid-rollover), with fresh
+# interleavings.
 stress:
-	$(GO) test -race -count=1 ./internal/controller/ ./internal/pisa/ ./internal/ha/
+	$(GO) test -race -count=1 ./internal/controller/ ./internal/pisa/ ./internal/ha/ ./internal/netsim/
 
 # Parallel data-plane gate: the worker pool, sharded counters, and batch
 # ingress path under the race detector, with fresh interleavings
@@ -92,3 +101,9 @@ bench-save:
 # bench-save artifact.
 bench-parallel:
 	$(GO) run ./cmd/p4auth-bench -exp fig19par
+
+# Fleet survival matrix artifact: the app × fault × protection matrix at
+# k=4 plus k=8 fat-tree / RouteScout wall-clock throughput at 1, 4 and 8
+# shards, checked in as BENCH_<date>-matrix.json.
+fleet-matrix:
+	$(GO) run ./cmd/p4auth-bench -matrix BENCH_$$(date -u +%Y-%m-%d)-matrix.json

@@ -24,7 +24,24 @@ func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	save := flag.String("save", "", "write micro-bench + pipelined-throughput JSON to this file and exit")
+	matrix := flag.String("matrix", "", "write the fleet survival-matrix + shard-throughput JSON to this file and exit")
 	flag.Parse()
+
+	if *matrix != "" {
+		bj, err := bench.SaveMatrixJSON(*matrix, time.Now().UTC().Format("2006-01-02"), bench.DefaultMatrixOpts())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		m := bj.Matrix
+		fmt.Printf("matrix k=%d seed=%#x: %d/%d cells survived\n", m.K, m.Seed, m.Survived, m.Total)
+		for _, r := range m.Tput {
+			fmt.Printf("tput %-10s k=%d shards=%d %10.0f ops/s %9.1f ms wall %6.2fx score %.2f\n",
+				r.App, r.K, r.Shards, r.OpsPerSec, r.WallMs, r.Speedup, r.Score)
+		}
+		fmt.Printf("wrote %s\n", *matrix)
+		return
+	}
 
 	if *save != "" {
 		bj, err := bench.SaveBenchJSON(*save, time.Now().UTC().Format("2006-01-02"))

@@ -79,6 +79,7 @@ type BenchJSON struct {
 	Fig19Pipe []TputRow     `json:"fig19_pipelined"`
 	Parallel  []ParallelRow `json:"fig19_parallel,omitempty"`
 	Fleet     *FleetBlock   `json:"fleet,omitempty"`
+	Matrix    *MatrixBlock  `json:"fleet_matrix,omitempty"`
 	Group     []GroupRow    `json:"group_failover,omitempty"`
 	Metrics   *MetricsBlock `json:"metrics,omitempty"`
 }
@@ -251,13 +252,37 @@ func SaveBenchJSON(path, date string) (*BenchJSON, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.Create(path)
+	return bj, writeBenchFile(bj, path)
+}
+
+// SaveMatrixJSON collects the fleet-matrix artifact alone and writes it
+// as a BENCH_<date>-matrix.json-style file (the survival matrix plus the
+// shard throughput sweep, without re-running the micro-benchmarks).
+func SaveMatrixJSON(path, date string, o MatrixOpts) (*BenchJSON, error) {
+	mb, err := RunMatrixBench(o)
 	if err != nil {
 		return nil, err
 	}
+	bj := &BenchJSON{
+		Date: date,
+		Env: &EnvBlock{
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			GoVersion:  runtime.Version(),
+		},
+		Matrix: mb,
+	}
+	return bj, writeBenchFile(bj, path)
+}
+
+func writeBenchFile(bj *BenchJSON, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
 	if err := bj.WriteBenchJSON(f); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("bench: write %s: %w", path, err)
+		return fmt.Errorf("bench: write %s: %w", path, err)
 	}
-	return bj, f.Close()
+	return f.Close()
 }

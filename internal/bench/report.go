@@ -81,6 +81,7 @@ func All() []Runner {
 		{"fig19p", func() (*Report, error) { return Fig19Pipelined(DefaultFig19PipelinedOpts()) }},
 		{"fig19par", func() (*Report, error) { return Fig19Parallel(DefaultFig19ParallelOpts()) }},
 		{"fleet", func() (*Report, error) { return Fleet(DefaultFleetOpts()) }},
+		{"matrix", func() (*Report, error) { return FleetMatrix(DefaultMatrixOpts()) }},
 		{"group", func() (*Report, error) { return Group() }},
 		{"table2", func() (*Report, error) { return TableII() }},
 		{"fig20", func() (*Report, error) { return Fig20(DefaultFig20Opts()) }},

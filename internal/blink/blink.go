@@ -38,6 +38,21 @@ const FailThreshold = 8
 type Params struct {
 	Prefixes int
 	Secure   bool
+	// Name identifies the switch at its controller; empty means the
+	// historical "edge". Fleet deployments run one instance per pod and
+	// need distinct names within a shared controller namespace.
+	Name string
+	// Seed perturbs the switch and controller PRNGs; zero keeps the
+	// historical seeds, so existing runs are unchanged.
+	Seed uint64
+}
+
+// name returns the effective switch name.
+func (p Params) name() string {
+	if p.Name == "" {
+		return "edge"
+	}
+	return p.Name
 }
 
 // DefaultParams tracks a small prefix table.
@@ -48,6 +63,10 @@ type System struct {
 	Params Params
 	Host   *switchos.Host
 	Ctrl   *controller.Controller
+	// Cfg is the P4Auth core configuration the switch booted with;
+	// exported so a recovery path can re-Register the switch at a fresh
+	// controller after a controller kill.
+	Cfg core.Config
 
 	TamperedWrites int
 }
@@ -121,24 +140,24 @@ func New(p Params, primary, backup uint64) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	sw, err := pisa.NewSwitch(prog, pisa.TofinoProfile(), pisa.WithRandom(crypto.NewSeededRand(0xB117)))
+	sw, err := pisa.NewSwitch(prog, pisa.TofinoProfile(), pisa.WithRandom(crypto.NewSeededRand(0xB117+p.Seed)))
 	if err != nil {
 		return nil, err
 	}
 	if err := core.Boot(sw, cfg); err != nil {
 		return nil, err
 	}
-	host := switchos.NewHost("edge", sw, switchos.DefaultCosts())
+	host := switchos.NewHost(p.name(), sw, switchos.DefaultCosts())
 	if err := core.InstallRegMap(sw, host.Info, []string{RegPrimary, RegBackup, RegEvidence, RegFailed}); err != nil {
 		return nil, err
 	}
-	ctrl := controller.New(crypto.NewSeededRand(0xB118))
-	if err := ctrl.Register("edge", host, cfg, 0); err != nil {
+	ctrl := controller.New(crypto.NewSeededRand(0xB118+p.Seed))
+	if err := ctrl.Register(p.name(), host, cfg, 0); err != nil {
 		return nil, err
 	}
-	s := &System{Params: p, Host: host, Ctrl: ctrl}
+	s := &System{Params: p, Host: host, Ctrl: ctrl, Cfg: cfg}
 	if p.Secure {
-		if _, err := ctrl.LocalKeyInit("edge"); err != nil {
+		if _, err := ctrl.LocalKeyInit(p.name()); err != nil {
 			return nil, err
 		}
 	}
@@ -159,9 +178,9 @@ func New(p Params, primary, backup uint64) (*System, error) {
 func (s *System) WriteNexthop(list string, prefix uint32, nexthop uint64) error {
 	var err error
 	if s.Params.Secure {
-		_, err = s.Ctrl.WriteRegister("edge", list, prefix, nexthop)
+		_, err = s.Ctrl.WriteRegister(s.Params.name(), list, prefix, nexthop)
 	} else {
-		_, err = s.Ctrl.WriteRegisterInsecure("edge", list, prefix, nexthop)
+		_, err = s.Ctrl.WriteRegisterInsecure(s.Params.name(), list, prefix, nexthop)
 	}
 	if err == nil {
 		return nil

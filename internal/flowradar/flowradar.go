@@ -42,6 +42,21 @@ type Params struct {
 	FilterHashes int
 	FilterBits   int
 	Secure       bool
+	// Name identifies the switch at its controller; empty means the
+	// historical "radar". Fleet deployments run one instance per pod and
+	// need distinct names within a shared controller namespace.
+	Name string
+	// Seed perturbs the switch and controller PRNGs; zero keeps the
+	// historical seeds, so existing runs are unchanged.
+	Seed uint64
+}
+
+// name returns the effective switch name.
+func (p Params) name() string {
+	if p.Name == "" {
+		return "radar"
+	}
+	return p.Name
 }
 
 // DefaultParams decodes a few hundred flows comfortably.
@@ -54,6 +69,10 @@ type System struct {
 	Params Params
 	Host   *switchos.Host
 	Ctrl   *controller.Controller
+	// Cfg is the P4Auth core configuration the switch booted with;
+	// exported so a recovery path can re-Register the switch at a fresh
+	// controller after a controller kill.
+	Cfg core.Config
 
 	prf crypto.KeyedCRC32
 	// TamperedReads counts rejected export reads.
@@ -169,24 +188,24 @@ func New(p Params) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	sw, err := pisa.NewSwitch(prog, pisa.BMv2Profile(), pisa.WithRandom(crypto.NewSeededRand(0xF1A)))
+	sw, err := pisa.NewSwitch(prog, pisa.BMv2Profile(), pisa.WithRandom(crypto.NewSeededRand(0xF1A+p.Seed)))
 	if err != nil {
 		return nil, err
 	}
 	if err := core.Boot(sw, cfg); err != nil {
 		return nil, err
 	}
-	host := switchos.NewHost("radar", sw, switchos.DefaultCosts())
+	host := switchos.NewHost(p.name(), sw, switchos.DefaultCosts())
 	if err := core.InstallRegMap(sw, host.Info, []string{RegFlowXOR, RegFlowCnt, RegPktCnt}); err != nil {
 		return nil, err
 	}
-	ctrl := controller.New(crypto.NewSeededRand(0xF1B))
-	if err := ctrl.Register("radar", host, cfg, 0); err != nil {
+	ctrl := controller.New(crypto.NewSeededRand(0xF1B+p.Seed))
+	if err := ctrl.Register(p.name(), host, cfg, 0); err != nil {
 		return nil, err
 	}
-	s := &System{Params: p, Host: host, Ctrl: ctrl, prf: crypto.NewKeyedCRC32()}
+	s := &System{Params: p, Host: host, Ctrl: ctrl, Cfg: cfg, prf: crypto.NewKeyedCRC32()}
 	if p.Secure {
-		if _, err := ctrl.LocalKeyInit("radar"); err != nil {
+		if _, err := ctrl.LocalKeyInit(p.name()); err != nil {
 			return nil, err
 		}
 	}
@@ -225,10 +244,10 @@ func (s *System) export() ([]cell, error) {
 	cells := make([]cell, s.Params.Cells)
 	read := func(name string, i uint32) (uint64, error) {
 		if s.Params.Secure {
-			v, _, err := s.Ctrl.ReadRegister("radar", name, i)
+			v, _, err := s.Ctrl.ReadRegister(s.Params.name(), name, i)
 			return v, err
 		}
-		v, _, err := s.Ctrl.ReadRegisterInsecure("radar", name, i)
+		v, _, err := s.Ctrl.ReadRegisterInsecure(s.Params.name(), name, i)
 		return v, err
 	}
 	for i := 0; i < s.Params.Cells; i++ {

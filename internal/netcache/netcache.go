@@ -49,6 +49,21 @@ type Params struct {
 	CMSRows    int
 	CMSCols    int
 	Secure     bool
+	// Name identifies the switch at its controller; empty means the
+	// historical "cache". Fleet deployments run one instance per pod and
+	// need distinct names within a shared controller namespace.
+	Name string
+	// Seed perturbs the switch and controller PRNGs; zero keeps the
+	// historical seeds, so existing runs are unchanged.
+	Seed uint64
+}
+
+// name returns the effective switch name.
+func (p Params) name() string {
+	if p.Name == "" {
+		return "cache"
+	}
+	return p.Name
 }
 
 // DefaultParams sizes a small demonstration cache.
@@ -61,6 +76,10 @@ type System struct {
 	Params Params
 	Host   *switchos.Host
 	Ctrl   *controller.Controller
+	// Cfg is the P4Auth core configuration the switch booted with;
+	// exported so a recovery path can re-Register the switch at a fresh
+	// controller after a controller kill.
+	Cfg    core.Config
 	CMS    *sketch.CMS
 	Mirror *sketch.Mirror
 
@@ -161,32 +180,33 @@ func New(p Params) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	sw, err := pisa.NewSwitch(prog, pisa.TofinoProfile(), pisa.WithRandom(crypto.NewSeededRand(0x7ACE)))
+	sw, err := pisa.NewSwitch(prog, pisa.TofinoProfile(), pisa.WithRandom(crypto.NewSeededRand(0x7ACE+p.Seed)))
 	if err != nil {
 		return nil, err
 	}
 	if err := core.Boot(sw, cfg); err != nil {
 		return nil, err
 	}
-	host := switchos.NewHost("cache", sw, switchos.DefaultCosts())
+	host := switchos.NewHost(p.name(), sw, switchos.DefaultCosts())
 	exposed := append(cms.RegisterNames(), RegHits, RegMisses, RegSlotHits)
 	if err := core.InstallRegMap(sw, host.Info, exposed); err != nil {
 		return nil, err
 	}
-	ctrl := controller.New(crypto.NewSeededRand(0x7ACF))
-	if err := ctrl.Register("cache", host, cfg, 0); err != nil {
+	ctrl := controller.New(crypto.NewSeededRand(0x7ACF + p.Seed))
+	if err := ctrl.Register(p.name(), host, cfg, 0); err != nil {
 		return nil, err
 	}
 	s := &System{
 		Params: p,
 		Host:   host,
 		Ctrl:   ctrl,
+		Cfg:    cfg,
 		CMS:    cms,
 		Mirror: sketch.NewMirror(cms),
 		cached: make(map[uint32]int),
 	}
 	if p.Secure {
-		if _, err := ctrl.LocalKeyInit("cache"); err != nil {
+		if _, err := ctrl.LocalKeyInit(p.name()); err != nil {
 			return nil, err
 		}
 	}
@@ -220,10 +240,10 @@ func (s *System) Query(key uint32) (hit bool, err error) {
 // readReg reads one register entry over the variant's C-DP path.
 func (s *System) readReg(name string, index uint32) (uint64, error) {
 	if s.Params.Secure {
-		v, _, err := s.Ctrl.ReadRegister("cache", name, index)
+		v, _, err := s.Ctrl.ReadRegister(s.Params.name(), name, index)
 		return v, err
 	}
-	v, _, err := s.Ctrl.ReadRegisterInsecure("cache", name, index)
+	v, _, err := s.Ctrl.ReadRegisterInsecure(s.Params.name(), name, index)
 	return v, err
 }
 

@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"p4auth/internal/netsim"
+)
+
+// TestShardOneGoldenBitIdentical reruns the recorded chaos seeds with
+// the harness simulator built in sharded mode at shards<=1. The sharded
+// engine's contract is that this configuration takes the exact lockstep
+// code path, so every pinned golden trace must still match — a sharding
+// regression that leaks into serial execution fails here, not in a
+// fleet-scale run where it cannot be bisected.
+func TestShardOneGoldenBitIdentical(t *testing.T) {
+	orig := newHarnessSim
+	defer func() { newHarnessSim = orig }()
+	newHarnessSim = func() *netsim.Sim {
+		s := netsim.NewSim()
+		if err := s.EnableShards(1, 0); err != nil {
+			t.Fatalf("EnableShards(1): %v", err)
+		}
+		return s
+	}
+
+	want := loadGoldens(t)
+	for _, gr := range goldenRuns() {
+		// The fabric runs build their simulator through the hula network
+		// constructor, outside the seam; the remaining runs cover the
+		// chaos, HA, and group harnesses.
+		trace, err := gr.run()
+		if err != nil {
+			t.Fatalf("%s: %v", gr.name, err)
+		}
+		pinned, ok := want[gr.name]
+		if !ok {
+			t.Fatalf("%s: no pinned golden", gr.name)
+		}
+		if got := traceHash(trace); got != pinned {
+			t.Errorf("%s: shards<=1 trace diverged from lockstep golden\n  pinned %s\n  got    %s",
+				gr.name, pinned, got)
+		}
+	}
+}
+
+// The fleet harness schedules its probe and load loops through
+// AtShard; at shards<=1 those must interleave exactly like At. This
+// pins the equivalence at the netsim layer for a chain that mixes both
+// APIs under a seeded schedule.
+func TestShardAPIMixedScheduleLockstepEquivalence(t *testing.T) {
+	run := func(sharded bool) []time.Duration {
+		s := netsim.NewSim()
+		if sharded {
+			if err := s.EnableShards(1, 0); err != nil {
+				t.Fatalf("EnableShards: %v", err)
+			}
+		}
+		var order []time.Duration
+		r := rng{s: 0xFEED}
+		for i := 0; i < 64; i++ {
+			at := time.Duration(r.intn(500)) * time.Microsecond
+			rec := func() { order = append(order, s.Now()) }
+			if r.intn(2) == 0 {
+				s.At(at, rec)
+			} else {
+				s.AtShard(r.intn(8), at, rec)
+			}
+		}
+		s.Run()
+		return order
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d ran at %v lockstep vs %v shards<=1", i, a[i], b[i])
+		}
+	}
+}

@@ -33,6 +33,11 @@ type Sim struct {
 	now time.Duration
 	pq  eventHeap
 	seq uint64
+
+	// Sharded mode (EnableShards): per-shard event heaps drained by
+	// parallel workers in fence-bounded windows. nil/len<=1 = lockstep.
+	shards []*simShard
+	fence  time.Duration
 }
 
 // NewSim returns an empty simulator at virtual time zero.
@@ -47,8 +52,14 @@ func (s *Sim) Now() time.Duration {
 	return s.now
 }
 
-// At schedules fn at absolute virtual time t (clamped to now).
+// At schedules fn at absolute virtual time t (clamped to now). In
+// sharded mode the event lands on shard 0 (the control shard); use
+// AtShard to target a specific shard.
 func (s *Sim) At(t time.Duration, fn func()) {
+	if s.shardCount() > 1 {
+		s.AtShard(0, t, fn)
+		return
+	}
 	s.mu.Lock()
 	if t < s.now {
 		t = s.now
@@ -60,6 +71,10 @@ func (s *Sim) At(t time.Duration, fn func()) {
 
 // After schedules fn d after the current virtual time.
 func (s *Sim) After(d time.Duration, fn func()) {
+	if s.shardCount() > 1 {
+		s.AtShard(0, s.Now()+d, fn)
+		return
+	}
 	s.mu.Lock()
 	t := s.now + d
 	if t < s.now {
@@ -71,8 +86,13 @@ func (s *Sim) After(d time.Duration, fn func()) {
 }
 
 // Step executes the next event; it reports false when the queue is empty.
-// The event function runs with the simulator unlocked.
+// The event function runs with the simulator unlocked. Step is a
+// lockstep-only primitive; it panics on a sharded simulator, where
+// single-event interleaving across concurrent shards is not meaningful.
 func (s *Sim) Step() bool {
+	if s.shardCount() > 1 {
+		panic("netsim: Step requires lockstep mode (shards <= 1)")
+	}
 	s.mu.Lock()
 	if s.pq.Len() == 0 {
 		s.mu.Unlock()
@@ -87,6 +107,10 @@ func (s *Sim) Step() bool {
 
 // Run drains the event queue.
 func (s *Sim) Run() {
+	if s.shardCount() > 1 {
+		s.runSharded(-1)
+		return
+	}
 	for s.Step() {
 	}
 }
@@ -104,6 +128,10 @@ func (s *Sim) Advance(d time.Duration) {
 // RunUntil executes events with timestamps <= t, then advances the clock
 // to t.
 func (s *Sim) RunUntil(t time.Duration) {
+	if s.shardCount() > 1 {
+		s.runSharded(t)
+		return
+	}
 	for {
 		s.mu.Lock()
 		if s.pq.Len() == 0 || s.pq[0].at > t {
@@ -168,7 +196,14 @@ type Node struct {
 	Name    string
 	Handler Handler
 	ports   map[int]*linkEnd
+	// shard is the event shard this node's deliveries run on when the
+	// simulator is sharded (EnableShards); 0 — and irrelevant — in
+	// lockstep mode. Assigned via Network.SetShard before the run starts.
+	shard int
 }
+
+// Shard reports the node's event-shard assignment.
+func (n *Node) Shard() int { return n.shard }
 
 // Tap observes and optionally rewrites a packet crossing a link direction.
 // Returning nil drops the packet.
@@ -234,6 +269,21 @@ func (n *Network) AddNode(name string, h Handler) *Node {
 
 // Node returns a registered node or nil.
 func (n *Network) Node(name string) *Node { return n.nodes[name] }
+
+// SetShard assigns the named node to an event shard (EnableShards).
+// Call it during topology construction, before the simulation runs;
+// shard assignments are not safe to change mid-run.
+func (n *Network) SetShard(name string, shard int) error {
+	node, ok := n.nodes[name]
+	if !ok {
+		return fmt.Errorf("netsim: unknown node %q", name)
+	}
+	if shard < 0 {
+		return fmt.Errorf("netsim: negative shard %d", shard)
+	}
+	node.shard = shard
+	return nil
+}
 
 // Nodes returns the number of registered nodes.
 func (n *Network) Nodes() int { return len(n.nodes) }
@@ -319,7 +369,10 @@ func (n *Network) Send(node *Node, port int, data []byte, extraDelay time.Durati
 	d := make([]byte, len(data))
 	copy(d, data)
 
-	now := n.Sim.Now()
+	// In lockstep mode this is the global clock (the exact pre-shard
+	// behavior); in sharded mode it is the sending node's shard-local
+	// clock, so per-shard timing stays self-consistent.
+	now := n.Sim.ShardNow(node.shard)
 	ready := now + extraDelay
 	ser := time.Duration(0)
 	if l.Bandwidth > 0 {
@@ -337,7 +390,7 @@ func (n *Network) Send(node *Node, port int, data []byte, extraDelay time.Durati
 	l.mu.Unlock()
 
 	dst := end.peer
-	n.Sim.At(depart+l.Delay, func() {
+	n.Sim.AtShard(dst.node.shard, depart+l.Delay, func() {
 		l.mu.Lock()
 		down, tap := l.down, dst.tap
 		if down {

@@ -1,0 +1,215 @@
+// Sharded discrete-event execution: the fleet-scale load engine.
+//
+// A lockstep simulator executes one event at a time in global (time, seq)
+// order — perfectly deterministic, but serial. EnableShards splits the
+// event queue into N per-shard heaps (the fat-tree harness assigns one
+// shard per pod) drained by N concurrent workers in fence-bounded
+// windows:
+//
+//	window w = [base, base+fence)
+//	every shard drains its own heap of events with at < base+fence,
+//	in (time, seq) order, on its own goroutine;
+//	barrier; base += fence; repeat.
+//
+// Within a window, shard-local causality is exact: a shard's events run
+// in timestamp order on one goroutine, and same-shard sends scheduled
+// inside the window still run inside it. Cross-shard effects are fenced:
+// an event one shard schedules onto another is clamped to the receiving
+// shard's local clock, which the fence keeps within one window of the
+// sender's — so cross-shard skew is bounded by the fence. Choosing the
+// fence at or below the minimum cross-shard link delay makes the clamp
+// a no-op in the common case: a packet's propagation delay already
+// carries it past the window boundary.
+//
+// Determinism contract: with shards <= 1 nothing here runs — every
+// schedule and drain goes through the exact lockstep code path, so
+// seeded runs stay bit-identical to the pre-shard engine (asserted by
+// the chaos golden traces). With shards > 1, per-shard event order is
+// still (time, seq)-deterministic, but cross-shard arrival interleaving
+// depends on scheduling; parallel mode is for load sweeps, not for
+// golden traces.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// simShard is one event shard: its own heap, clock, and sequence space.
+type simShard struct {
+	mu  sync.Mutex
+	now time.Duration
+	pq  eventHeap
+	seq uint64
+}
+
+// EnableShards switches the simulator into sharded mode with n shards
+// and the given fence (the window length bounding cross-shard skew).
+// It must be called on a pristine simulator — before any event is
+// scheduled or the clock has moved. n <= 1 is a no-op: the simulator
+// stays in lockstep mode and remains bit-identical to the serial
+// engine.
+func (s *Sim) EnableShards(n int, fence time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pq.Len() > 0 || s.now > 0 || s.seq > 0 {
+		return fmt.Errorf("netsim: EnableShards requires a pristine simulator")
+	}
+	if len(s.shards) > 0 {
+		return fmt.Errorf("netsim: shards already enabled")
+	}
+	if n <= 1 {
+		return nil
+	}
+	if fence <= 0 {
+		return fmt.Errorf("netsim: shard fence must be positive, got %v", fence)
+	}
+	s.shards = make([]*simShard, n)
+	for i := range s.shards {
+		s.shards[i] = &simShard{}
+	}
+	s.fence = fence
+	return nil
+}
+
+// Shards reports the shard count (1 in lockstep mode).
+func (s *Sim) Shards() int {
+	if n := s.shardCount(); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// shardCount is the raw shard slice length. The slice is written once by
+// EnableShards before the run starts and only read afterwards, so
+// unlocked reads are safe.
+func (s *Sim) shardCount() int { return len(s.shards) }
+
+// AtShard schedules fn at absolute virtual time t on the given shard. In
+// lockstep mode it is exactly At — same heap, same sequence counter —
+// so lockstep traces are unaffected by callers migrating to AtShard.
+// In sharded mode t is clamped to the shard's local clock.
+func (s *Sim) AtShard(shard int, t time.Duration, fn func()) {
+	if s.shardCount() <= 1 {
+		s.At(t, fn)
+		return
+	}
+	sh := s.shards[shard%len(s.shards)]
+	sh.mu.Lock()
+	if t < sh.now {
+		t = sh.now
+	}
+	sh.seq++
+	heap.Push(&sh.pq, &event{at: t, seq: sh.seq, fn: fn})
+	sh.mu.Unlock()
+}
+
+// ShardNow returns the shard's local clock. In lockstep mode it is the
+// global clock regardless of the shard argument.
+func (s *Sim) ShardNow(shard int) time.Duration {
+	if s.shardCount() <= 1 {
+		return s.Now()
+	}
+	sh := s.shards[shard%len(s.shards)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.now
+}
+
+// peekNext returns the earliest pending event time across all shards, or
+// false when every heap is empty.
+func (s *Sim) peekNext() (time.Duration, bool) {
+	var min time.Duration
+	found := false
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.pq.Len() > 0 {
+			if !found || sh.pq[0].at < min {
+				min = sh.pq[0].at
+				found = true
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return min, found
+}
+
+// runSharded drives the windowed parallel drain. until < 0 means run to
+// exhaustion (Run); otherwise execute events with at <= until and leave
+// every clock at until (RunUntil).
+func (s *Sim) runSharded(until time.Duration) {
+	for {
+		next, ok := s.peekNext()
+		if !ok || (until >= 0 && next > until) {
+			break
+		}
+		// Window base: skip idle gaps by starting at the earliest
+		// pending event (never regressing the global clock).
+		s.mu.Lock()
+		base := s.now
+		if next > base {
+			base = next
+		}
+		windowEnd := base + s.fence
+		s.mu.Unlock()
+
+		var wg sync.WaitGroup
+		for _, sh := range s.shards {
+			wg.Add(1)
+			go func(sh *simShard) {
+				defer wg.Done()
+				sh.drain(base, windowEnd, until)
+			}(sh)
+		}
+		wg.Wait()
+
+		s.mu.Lock()
+		if windowEnd > s.now {
+			s.now = windowEnd
+		}
+		if until >= 0 && s.now > until {
+			s.now = until
+		}
+		s.mu.Unlock()
+	}
+	if until >= 0 {
+		s.mu.Lock()
+		if s.now < until {
+			s.now = until
+		}
+		s.mu.Unlock()
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			if sh.now < until {
+				sh.now = until
+			}
+			sh.mu.Unlock()
+		}
+	}
+}
+
+// drain runs one shard's events due inside [base, windowEnd), in
+// (time, seq) order, on the calling goroutine. Event functions run with
+// the shard unlocked, so handlers re-enter AtShard/Send freely.
+func (sh *simShard) drain(base, windowEnd, until time.Duration) {
+	sh.mu.Lock()
+	if sh.now < base {
+		sh.now = base
+	}
+	for sh.pq.Len() > 0 {
+		ev := sh.pq[0]
+		if ev.at >= windowEnd || (until >= 0 && ev.at > until) {
+			break
+		}
+		heap.Pop(&sh.pq)
+		if ev.at > sh.now {
+			sh.now = ev.at
+		}
+		sh.mu.Unlock()
+		ev.fn()
+		sh.mu.Lock()
+	}
+	sh.mu.Unlock()
+}

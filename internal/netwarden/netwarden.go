@@ -43,6 +43,21 @@ const (
 type Params struct {
 	Conns  int // tracked connection slots
 	Secure bool
+	// Name identifies the switch at its controller; empty means the
+	// historical "ids". Fleet deployments run one instance per pod and
+	// need distinct names within a shared controller namespace.
+	Name string
+	// Seed perturbs the switch and controller PRNGs; zero keeps the
+	// historical seeds, so existing runs are unchanged.
+	Seed uint64
+}
+
+// name returns the effective switch name.
+func (p Params) name() string {
+	if p.Name == "" {
+		return "ids"
+	}
+	return p.Name
 }
 
 // DefaultParams tracks a small slot table.
@@ -53,6 +68,10 @@ type System struct {
 	Params Params
 	Host   *switchos.Host
 	Ctrl   *controller.Controller
+	// Cfg is the P4Auth core configuration the switch booted with;
+	// exported so a recovery path can re-Register the switch at a fresh
+	// controller after a controller kill.
+	Cfg core.Config
 
 	// TamperedOps counts C-DP operations the controller saw rejected.
 	TamperedOps int
@@ -141,24 +160,24 @@ func New(p Params) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	sw, err := pisa.NewSwitch(prog, pisa.TofinoProfile(), pisa.WithRandom(crypto.NewSeededRand(0x93A)))
+	sw, err := pisa.NewSwitch(prog, pisa.TofinoProfile(), pisa.WithRandom(crypto.NewSeededRand(0x93A+p.Seed)))
 	if err != nil {
 		return nil, err
 	}
 	if err := core.Boot(sw, cfg); err != nil {
 		return nil, err
 	}
-	host := switchos.NewHost("ids", sw, switchos.DefaultCosts())
+	host := switchos.NewHost(p.name(), sw, switchos.DefaultCosts())
 	if err := core.InstallRegMap(sw, host.Info, []string{RegJitter, RegPackets, RegVerdict, RegBlocked}); err != nil {
 		return nil, err
 	}
-	ctrl := controller.New(crypto.NewSeededRand(0x93B))
-	if err := ctrl.Register("ids", host, cfg, 0); err != nil {
+	ctrl := controller.New(crypto.NewSeededRand(0x93B+p.Seed))
+	if err := ctrl.Register(p.name(), host, cfg, 0); err != nil {
 		return nil, err
 	}
-	s := &System{Params: p, Host: host, Ctrl: ctrl}
+	s := &System{Params: p, Host: host, Ctrl: ctrl, Cfg: cfg}
 	if p.Secure {
-		if _, err := ctrl.LocalKeyInit("ids"); err != nil {
+		if _, err := ctrl.LocalKeyInit(p.name()); err != nil {
 			return nil, err
 		}
 	}
@@ -183,19 +202,19 @@ func (s *System) Packet(conn uint16, atNs uint64) (bool, error) {
 
 func (s *System) read(name string, index uint32) (uint64, error) {
 	if s.Params.Secure {
-		v, _, err := s.Ctrl.ReadRegister("ids", name, index)
+		v, _, err := s.Ctrl.ReadRegister(s.Params.name(), name, index)
 		return v, err
 	}
-	v, _, err := s.Ctrl.ReadRegisterInsecure("ids", name, index)
+	v, _, err := s.Ctrl.ReadRegisterInsecure(s.Params.name(), name, index)
 	return v, err
 }
 
 func (s *System) write(name string, index uint32, v uint64) error {
 	if s.Params.Secure {
-		_, err := s.Ctrl.WriteRegister("ids", name, index, v)
+		_, err := s.Ctrl.WriteRegister(s.Params.name(), name, index, v)
 		return err
 	}
-	_, err := s.Ctrl.WriteRegisterInsecure("ids", name, index, v)
+	_, err := s.Ctrl.WriteRegisterInsecure(s.Params.name(), name, index, v)
 	return err
 }
 

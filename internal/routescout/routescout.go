@@ -60,6 +60,7 @@ type System struct {
 	Ctrl   *controller.Controller
 	Switch *deploy.Switch
 	Mode   Mode
+	name   string
 	node   *deploy.SwitchNode
 
 	// Split is the current split (0..256 for path 1).
@@ -85,6 +86,21 @@ type Config struct {
 	EpochLen time.Duration
 	// InitialSplit is the starting share for path 1 (0..256).
 	InitialSplit uint64
+	// Name identifies the switch at its controller; empty means the
+	// historical "edge". Fleet deployments run one instance per pod and
+	// need distinct names.
+	Name string
+	// Seed perturbs the switch and controller PRNGs; zero keeps the
+	// historical seeds, so existing runs are unchanged.
+	Seed uint64
+}
+
+// name returns the effective switch name.
+func (c Config) name() string {
+	if c.Name == "" {
+		return "edge"
+	}
+	return c.Name
 }
 
 // DefaultConfig mirrors Fig. 2: path 1 is the better path.
@@ -159,26 +175,27 @@ func New(c Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	sw, err := pisa.NewSwitch(prog, pisa.TofinoProfile(), pisa.WithRandom(crypto.NewSeededRand(0x2005C0)))
+	sw, err := pisa.NewSwitch(prog, pisa.TofinoProfile(), pisa.WithRandom(crypto.NewSeededRand(0x2005C0+c.Seed)))
 	if err != nil {
 		return nil, err
 	}
 	if err := core.Boot(sw, cfg); err != nil {
 		return nil, err
 	}
-	info := switchos.NewHost("edge", sw, switchos.DefaultCosts())
+	info := switchos.NewHost(c.name(), sw, switchos.DefaultCosts())
 	if err := core.InstallRegMap(sw, info.Info, []string{RegSplit, RegLatSum, RegLatCnt}); err != nil {
 		return nil, err
 	}
 
 	s := &System{
 		Net:    netsim.NewNetwork(),
-		Ctrl:   controller.New(crypto.NewSeededRand(0x2005C1)),
+		Ctrl:   controller.New(crypto.NewSeededRand(0x2005C1+c.Seed)),
 		Switch: &deploy.Switch{Host: info, Cfg: cfg},
 		Mode:   c.Mode,
+		name:   c.name(),
 		Split:  c.InitialSplit,
 	}
-	if err := s.Ctrl.Register("edge", info, cfg, 100*time.Microsecond); err != nil {
+	if err := s.Ctrl.Register(c.name(), info, cfg, 100*time.Microsecond); err != nil {
 		return nil, err
 	}
 	if err := sw.RegisterWrite(RegSplit, 0, c.InitialSplit); err != nil {
@@ -186,12 +203,12 @@ func New(c Config) (*System, error) {
 	}
 
 	s.node = &deploy.SwitchNode{Host: info}
-	s.Net.AddNode("edge", s.node)
+	s.Net.AddNode(c.name(), s.node)
 	s.Net.AddNode("sink", netsim.HandlerFunc(func(net *netsim.Network, _ *netsim.Node, _ int, data []byte) {
 		s.onDeliver(net, data)
 	}))
-	s.Net.MustConnect("edge", 1, "sink", 1, c.Path1Delay, 0)
-	s.Net.MustConnect("edge", 2, "sink", 2, c.Path2Delay, 0)
+	s.Net.MustConnect(c.name(), 1, "sink", 1, c.Path1Delay, 0)
+	s.Net.MustConnect(c.name(), 2, "sink", 2, c.Path2Delay, 0)
 	return s, nil
 }
 
@@ -235,13 +252,13 @@ func (s *System) flushStats() error {
 func (s *System) readReg(name string, index uint32) (uint64, error) {
 	switch s.Mode {
 	case ModeP4Auth:
-		v, _, err := s.Ctrl.ReadRegister("edge", name, index)
+		v, _, err := s.Ctrl.ReadRegister(s.name, name, index)
 		return v, err
 	case ModeInsecure:
-		v, _, err := s.Ctrl.ReadRegisterInsecure("edge", name, index)
+		v, _, err := s.Ctrl.ReadRegisterInsecure(s.name, name, index)
 		return v, err
 	case ModeAPI:
-		v, _, err := s.Ctrl.ReadRegisterAPI("edge", name, index)
+		v, _, err := s.Ctrl.ReadRegisterAPI(s.name, name, index)
 		return v, err
 	}
 	return 0, fmt.Errorf("routescout: unknown mode %d", int(s.Mode))
@@ -250,13 +267,13 @@ func (s *System) readReg(name string, index uint32) (uint64, error) {
 func (s *System) writeReg(name string, index uint32, v uint64) error {
 	switch s.Mode {
 	case ModeP4Auth:
-		_, err := s.Ctrl.WriteRegister("edge", name, index, v)
+		_, err := s.Ctrl.WriteRegister(s.name, name, index, v)
 		return err
 	case ModeInsecure:
-		_, err := s.Ctrl.WriteRegisterInsecure("edge", name, index, v)
+		_, err := s.Ctrl.WriteRegisterInsecure(s.name, name, index, v)
 		return err
 	case ModeAPI:
-		_, err := s.Ctrl.WriteRegisterAPI("edge", name, index, v)
+		_, err := s.Ctrl.WriteRegisterAPI(s.name, name, index, v)
 		return err
 	}
 	return fmt.Errorf("routescout: unknown mode %d", int(s.Mode))
@@ -313,10 +330,15 @@ func (s *System) epoch() error {
 // Run replays the trace for the duration with the controller polling each
 // epoch, returning the per-path byte shares (Fig. 16's metric).
 func (s *System) Run(cfg Config, pkts []trace.Packet) (share1, share2 float64, err error) {
-	node := s.Net.Node("edge")
+	node := s.Net.Node(s.name)
+	// Schedule relative to the current virtual time: a fresh system starts
+	// at zero (historical behaviour), while a resumed system — e.g. after a
+	// mid-run controller kill and recovery — replays the remaining trace
+	// from now instead of racing stale absolute timestamps.
+	start := s.Net.Sim.Now()
 	for _, p := range pkts {
 		p := p
-		s.Net.Sim.At(time.Duration(p.AtNs), func() {
+		s.Net.Sim.At(start+time.Duration(p.AtNs), func() {
 			hdr, perr := pisa.PackHeader(rsDataDef, []uint64{uint64(p.Flow), uint64(s.Net.Sim.Now()), 0})
 			if perr != nil {
 				return
@@ -328,7 +350,7 @@ func (s *System) Run(cfg Config, pkts []trace.Packet) (share1, share2 float64, e
 	}
 	var lastErr error
 	var tick func()
-	at := cfg.EpochLen
+	at := start + cfg.EpochLen
 	tick = func() {
 		if err := s.epoch(); err != nil {
 			lastErr = err
@@ -338,7 +360,7 @@ func (s *System) Run(cfg Config, pkts []trace.Packet) (share1, share2 float64, e
 		s.Net.Sim.At(at, tick)
 	}
 	s.Net.Sim.At(at, tick)
-	end := time.Duration(pkts[len(pkts)-1].AtNs) + 100*time.Millisecond
+	end := start + time.Duration(pkts[len(pkts)-1].AtNs) + 100*time.Millisecond
 	s.Net.Sim.RunUntil(end)
 	if lastErr != nil {
 		return 0, 0, lastErr

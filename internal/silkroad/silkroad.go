@@ -43,6 +43,21 @@ type Params struct {
 	BloomHashes int
 	BloomBits   int
 	Secure      bool
+	// Name identifies the switch at its controller; empty means the
+	// historical "lb". Fleet deployments run one instance per pod and
+	// need distinct names within a shared controller namespace.
+	Name string
+	// Seed perturbs the switch and controller PRNGs; zero keeps the
+	// historical seeds, so existing runs are unchanged.
+	Seed uint64
+}
+
+// name returns the effective switch name.
+func (p Params) name() string {
+	if p.Name == "" {
+		return "lb"
+	}
+	return p.Name
 }
 
 // DefaultParams sizes a demonstration balancer.
@@ -55,6 +70,10 @@ type System struct {
 	Params Params
 	Host   *switchos.Host
 	Ctrl   *controller.Controller
+	// Cfg is the P4Auth core configuration the switch booted with;
+	// exported so a recovery path can re-Register the switch at a fresh
+	// controller after a controller kill.
+	Cfg    core.Config
 	Bloom  *sketch.Bloom
 	Mirror *sketch.BloomMirror
 
@@ -146,25 +165,25 @@ func New(p Params) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	sw, err := pisa.NewSwitch(prog, pisa.TofinoProfile(), pisa.WithRandom(crypto.NewSeededRand(0x511C)))
+	sw, err := pisa.NewSwitch(prog, pisa.TofinoProfile(), pisa.WithRandom(crypto.NewSeededRand(0x511C+p.Seed)))
 	if err != nil {
 		return nil, err
 	}
 	if err := core.Boot(sw, cfg); err != nil {
 		return nil, err
 	}
-	host := switchos.NewHost("lb", sw, switchos.DefaultCosts())
+	host := switchos.NewHost(p.name(), sw, switchos.DefaultCosts())
 	exposed := append(bloom.RegisterNames(), RegMigrating, RegPoolVer, RegOldServed, RegNewServed)
 	if err := core.InstallRegMap(sw, host.Info, exposed); err != nil {
 		return nil, err
 	}
-	ctrl := controller.New(crypto.NewSeededRand(0x511D))
-	if err := ctrl.Register("lb", host, cfg, 0); err != nil {
+	ctrl := controller.New(crypto.NewSeededRand(0x511D+p.Seed))
+	if err := ctrl.Register(p.name(), host, cfg, 0); err != nil {
 		return nil, err
 	}
-	s := &System{Params: p, Host: host, Ctrl: ctrl, Bloom: bloom, Mirror: sketch.NewBloomMirror(bloom)}
+	s := &System{Params: p, Host: host, Ctrl: ctrl, Cfg: cfg, Bloom: bloom, Mirror: sketch.NewBloomMirror(bloom)}
 	if p.Secure {
-		if _, err := ctrl.LocalKeyInit("lb"); err != nil {
+		if _, err := ctrl.LocalKeyInit(p.name()); err != nil {
 			return nil, err
 		}
 	}
@@ -202,9 +221,9 @@ func (s *System) Packet(conn uint32, syn bool) (pool int, err error) {
 func (s *System) write(name string, index uint32, v uint64) error {
 	var err error
 	if s.Params.Secure {
-		_, err = s.Ctrl.WriteRegister("lb", name, index, v)
+		_, err = s.Ctrl.WriteRegister(s.Params.name(), name, index, v)
 	} else {
-		_, err = s.Ctrl.WriteRegisterInsecure("lb", name, index, v)
+		_, err = s.Ctrl.WriteRegisterInsecure(s.Params.name(), name, index, v)
 	}
 	return err
 }

@@ -1,0 +1,146 @@
+package sketch
+
+import "testing"
+
+// drive pushes a mixed workload: two elephants and a mouse herd.
+func driveHH(t *testing.T, s *HHSystem) (elephants []uint32) {
+	t.Helper()
+	elephants = []uint32{101, 202}
+	for _, f := range elephants {
+		for i := 0; i < 60; i++ {
+			if err := s.Packet(f); err != nil {
+				t.Fatalf("packet: %v", err)
+			}
+		}
+	}
+	for f := uint32(2000); f < 2040; f++ {
+		if err := s.Packet(f); err != nil {
+			t.Fatalf("packet: %v", err)
+		}
+	}
+	return elephants
+}
+
+func hhCandidates(elephants []uint32) []uint32 {
+	cands := append([]uint32{}, elephants...)
+	for f := uint32(2000); f < 2040; f++ {
+		cands = append(cands, f)
+	}
+	return cands
+}
+
+func TestHHPromotesElephants(t *testing.T) {
+	for _, secure := range []bool{true, false} {
+		hp := DefaultHHParams(secure)
+		hp.CMSRows = 4 // tame mouse/elephant collisions for exact assertions
+		s, err := NewHH(hp)
+		if err != nil {
+			t.Fatalf("NewHH(secure=%v): %v", secure, err)
+		}
+		elephants := driveHH(t, s)
+		if err := s.PromoteEpoch(hhCandidates(elephants), 50); err != nil {
+			t.Fatalf("PromoteEpoch: %v", err)
+		}
+		watch, err := s.Watchlist()
+		if err != nil {
+			t.Fatalf("Watchlist: %v", err)
+		}
+		got := map[uint32]bool{}
+		for _, f := range watch {
+			got[f] = true
+		}
+		for _, f := range elephants {
+			if !got[f] {
+				t.Errorf("secure=%v: elephant %d missing from watchlist %v", secure, f, watch)
+			}
+		}
+		if len(watch) != len(elephants) {
+			t.Errorf("secure=%v: watchlist %v has extra entries", secure, watch)
+		}
+		if s.Epochs != 1 || s.SkippedEpochs != 0 {
+			t.Errorf("secure=%v: epochs=%d skipped=%d", secure, s.Epochs, s.SkippedEpochs)
+		}
+	}
+}
+
+// With P4Auth the deflater is detected: the epoch is skipped and the
+// watchlist keeps its last good contents. Insecure, the attack lands —
+// elephants silently vanish from the watchlist.
+func TestHHCountDeflaterDetectedVsUndetected(t *testing.T) {
+	t.Run("secure", func(t *testing.T) {
+		hp := DefaultHHParams(true)
+		hp.CMSRows = 4
+		s, err := NewHH(hp)
+		if err != nil {
+			t.Fatalf("NewHH: %v", err)
+		}
+		elephants := driveHH(t, s)
+		if err := s.PromoteEpoch(hhCandidates(elephants), 50); err != nil {
+			t.Fatalf("clean epoch: %v", err)
+		}
+		if err := s.InstallCountDeflater(10); err != nil {
+			t.Fatalf("InstallCountDeflater: %v", err)
+		}
+		if err := s.PromoteEpoch(hhCandidates(elephants), 50); err != nil {
+			t.Fatalf("attacked epoch: %v", err)
+		}
+		if s.SkippedEpochs != 1 {
+			t.Fatalf("SkippedEpochs = %d, want 1", s.SkippedEpochs)
+		}
+		watch, err := s.Watchlist()
+		if err != nil {
+			t.Fatalf("Watchlist: %v", err)
+		}
+		if len(watch) != len(elephants) {
+			t.Fatalf("watchlist lost its last good contents: %v", watch)
+		}
+	})
+	t.Run("insecure", func(t *testing.T) {
+		hp := DefaultHHParams(false)
+		hp.CMSRows = 4
+		s, err := NewHH(hp)
+		if err != nil {
+			t.Fatalf("NewHH: %v", err)
+		}
+		elephants := driveHH(t, s)
+		if err := s.InstallCountDeflater(10); err != nil {
+			t.Fatalf("InstallCountDeflater: %v", err)
+		}
+		if err := s.PromoteEpoch(hhCandidates(elephants), 50); err != nil {
+			t.Fatalf("PromoteEpoch: %v", err)
+		}
+		if s.SkippedEpochs != 0 {
+			t.Fatalf("insecure run flagged tampering")
+		}
+		watch, err := s.Watchlist()
+		if err != nil {
+			t.Fatalf("Watchlist: %v", err)
+		}
+		if len(watch) != 0 {
+			t.Fatalf("deflater should empty the watchlist, got %v", watch)
+		}
+	})
+}
+
+func TestHHNamedInstancesIndependent(t *testing.T) {
+	p := DefaultHHParams(true)
+	p.Name, p.Seed = "hh-pod0", 7
+	a, err := NewHH(p)
+	if err != nil {
+		t.Fatalf("NewHH: %v", err)
+	}
+	p.Name, p.Seed = "hh-pod1", 8
+	b, err := NewHH(p)
+	if err != nil {
+		t.Fatalf("NewHH: %v", err)
+	}
+	if a.Host.Name == b.Host.Name {
+		t.Fatalf("instances share host name %q", a.Host.Name)
+	}
+	if err := a.Packet(9); err != nil {
+		t.Fatalf("packet: %v", err)
+	}
+	if est, err := b.readEstimate(9); err != nil || est != 0 {
+		t.Fatalf("instance b saw instance a's traffic: est=%d err=%v", est, err)
+	}
+}

@@ -41,6 +41,11 @@ type Config struct {
 	DurationNs uint64
 	// Seed drives the deterministic PRNG.
 	Seed uint64
+	// FlowBase offsets every generated flow identifier, letting forked
+	// per-pod streams occupy disjoint flow-ID spaces. Zero (the default)
+	// keeps the historical numbering, so existing seeds generate
+	// byte-identical traces.
+	FlowBase uint32
 }
 
 // DefaultConfig produces a modest edge-link mix.
@@ -96,7 +101,7 @@ func Generate(cfg Config) []Packet {
 	}
 
 	var out []Packet
-	flow := uint32(1)
+	flow := cfg.FlowBase + 1
 	tNs := 0.0
 	rateNs := cfg.FlowsPerSecond / 1e9
 	for {
@@ -119,6 +124,41 @@ func Generate(cfg Config) []Packet {
 	sort.SliceStable(out, func(i, j int) bool { return out[i].AtNs < out[j].AtNs })
 	return out
 }
+
+// Stream is a fork-able seeded flow generator, mirroring
+// crypto.Forkable for traffic: Fork(i) derives an independent
+// deterministic substream whose contents depend only on (seed, i) —
+// never on fork order, sibling forks, or which shard generates first.
+// The fleet harness forks one stream per fat-tree pod so per-pod load
+// stays bit-reproducible under sharded (parallel) event execution.
+type Stream struct {
+	cfg Config
+}
+
+// NewStream wraps a generator configuration as a fork-able stream.
+func NewStream(cfg Config) *Stream { return &Stream{cfg: cfg} }
+
+// Config returns the stream's effective configuration.
+func (s *Stream) Config() Config { return s.cfg }
+
+// Fork derives substream i: the seed is mixed with the fork index
+// through the same splitmix64 finalizer crypto.SeededRand.Fork uses,
+// and the flow-ID space is offset so sibling forks never collide. The
+// parent stream is unaffected.
+func (s *Stream) Fork(i uint64) *Stream {
+	cfg := s.cfg
+	z := cfg.Seed + (i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	cfg.Seed = z ^ (z >> 31)
+	// 2^22 flows of headroom per fork: far above any per-pod flow count
+	// the generator can produce within a simulated run.
+	cfg.FlowBase = s.cfg.FlowBase + uint32(i+1)<<22
+	return &Stream{cfg: cfg}
+}
+
+// Generate produces this stream's trace, ordered by send time.
+func (s *Stream) Generate() []Packet { return Generate(s.cfg) }
 
 // Stats summarizes a trace.
 type Stats struct {

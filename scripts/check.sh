@@ -37,9 +37,15 @@ go test -race ./...
 #                 multi-way lease acquisition races: same invariants as
 #                 ha-chaos plus at most one fenced-active per instant
 #                 and fail-safe fencing when the grace runs out
+#   matrix-chaos  the app × fault × protection survival matrix at k=4
+#                 with the default seed: zero forged operations applied
+#                 in every protected cell, measurable corruption in
+#                 every unprotected attacked cell, trace bit-identical
+#                 to the checked-in golden, determinism reruns
 #   stress        pipelined writers vs concurrent rollovers under fault
-#                 taps, the sharded-switch suite, and the HA failover
-#                 stress (-count=1 for fresh interleavings)
+#                 taps, the sharded-switch suite, the sharded netsim
+#                 engine, and the HA failover stress (-count=1 for
+#                 fresh interleavings)
 #   pisa-race     the parallel data plane (worker pool, sharded
 #                 counters, batch ingress) under the race detector with
 #                 fresh interleavings
@@ -48,7 +54,7 @@ go test -race ./...
 #                 checked-in seed corpora
 #   bench-smoke   the zero-allocation hot path through the real
 #                 benchmark harness
-echo "== concurrent gates (chaos, fabric-chaos, ha-chaos, group-chaos, stress, pisa-race, cover, fuzz-smoke, bench-smoke)"
+echo "== concurrent gates (chaos, fabric-chaos, ha-chaos, group-chaos, matrix-chaos, stress, pisa-race, cover, fuzz-smoke, bench-smoke)"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -71,7 +77,8 @@ run chaos        go test -race -count=1 -run 'TestChaosShort|TestChaosDeterminis
 run fabric-chaos go test -race -count=1 -run 'TestFabricShort|TestFabricDeterminism' ./internal/netsim/chaos/
 run ha-chaos     go test -race -count=1 -run 'TestHAShort|TestHADeterminism' ./internal/netsim/chaos/
 run group-chaos  go test -race -count=1 -run 'TestGroupShort|TestGroupDeterminism' ./internal/netsim/chaos/
-run stress       go test -race -count=1 ./internal/controller/ ./internal/pisa/ ./internal/ha/
+run matrix-chaos go test -race -count=1 -run 'TestMatrixChaos|TestMatrixDeterminism' ./internal/fleet/
+run stress       go test -race -count=1 ./internal/controller/ ./internal/pisa/ ./internal/ha/ ./internal/netsim/
 run pisa-race    go test -race -count=1 ./internal/pisa/...
 run cover        ./scripts/cover.sh
 run fuzz-smoke   ./scripts/fuzz_smoke.sh
@@ -80,7 +87,7 @@ run bench-smoke  go test -bench=BenchmarkAuthenticatedWrite -benchtime=10x -run 
 wait
 
 failed=0
-for name in chaos fabric-chaos ha-chaos group-chaos stress pisa-race cover fuzz-smoke bench-smoke; do
+for name in chaos fabric-chaos ha-chaos group-chaos matrix-chaos stress pisa-race cover fuzz-smoke bench-smoke; do
     status="$(cat "$tmp/$name.status" 2>/dev/null || echo 1)"
     if [ "$status" != 0 ]; then
         echo "== FAILED: $name"
