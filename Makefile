@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-save bench-smoke bench-parallel chaos fabric-chaos ha-chaos group-chaos matrix-chaos stress pisa-race cover fuzz-smoke fleet-matrix
+.PHONY: check build vet test race bench bench-save bench-smoke bench-parallel chaos fabric-chaos ha-chaos group-chaos matrix-chaos hierarchy-chaos stress pisa-race cover fuzz-smoke fleet-matrix bench-hierarchy
 
-check: build vet race chaos fabric-chaos ha-chaos group-chaos matrix-chaos stress pisa-race cover fuzz-smoke bench-smoke
+check: build vet race chaos fabric-chaos ha-chaos group-chaos matrix-chaos hierarchy-chaos stress pisa-race cover fuzz-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,16 @@ group-chaos:
 # bit-identical to the checked-in golden.
 matrix-chaos:
 	$(GO) test -race -count=1 -run 'TestMatrixChaos|TestMatrixDeterminism' ./internal/fleet/
+
+# Hierarchy chaos: the two-tier control plane (per-pod shard groups +
+# WAN-partition-tolerant global key broker) under forged/torn broker
+# frames, latency spikes, an asymmetric WAN partition, and a global-tier
+# kill + election. Every run must show zero forged operations applied,
+# no cross-pod key without a fenced global grant, graceful degradation
+# on cached keys with deferred rollovers, bounded re-convergence after
+# heal, exact audit reconciliation, and bit-identical traces per seed.
+hierarchy-chaos:
+	$(GO) test -race -count=1 -run 'TestHierarchyChaos|TestHierarchyDeterminism' ./internal/hierarchy/
 
 # Concurrency stress: pipelined writers vs concurrent key rollovers under
 # fault taps, the sharded-switch suite, the sharded netsim engine, and
@@ -107,3 +117,9 @@ bench-parallel:
 # shards, checked in as BENCH_<date>-matrix.json.
 fleet-matrix:
 	$(GO) run ./cmd/p4auth-bench -matrix BENCH_$$(date -u +%Y-%m-%d)-matrix.json
+
+# Hierarchical control-plane artifact: cross-pod key-establishment
+# latency and aggregate pod write throughput at pods=4/8 with and
+# without WAN latency injection, checked in as BENCH_<date>-hierarchy.json.
+bench-hierarchy:
+	$(GO) run ./cmd/p4auth-bench -hierarchy BENCH_$$(date -u +%Y-%m-%d)-hierarchy.json

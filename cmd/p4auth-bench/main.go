@@ -25,7 +25,22 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	save := flag.String("save", "", "write micro-bench + pipelined-throughput JSON to this file and exit")
 	matrix := flag.String("matrix", "", "write the fleet survival-matrix + shard-throughput JSON to this file and exit")
+	hier := flag.String("hierarchy", "", "write the hierarchical control-plane JSON (cross-pod establishment + pod writes) to this file and exit")
 	flag.Parse()
+
+	if *hier != "" {
+		bj, err := bench.SaveHierarchyJSON(*hier, time.Now().UTC().Format("2006-01-02"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, r := range bj.Hierarchy {
+			fmt.Printf("hier pods=%d links=%-2d spike=%-5v %6.2f ms/link %7.1f ms total %10.0f writes/s\n",
+				r.Pods, r.CrossLinks, r.WANSpike, r.EstablishMsPerLink, r.EstablishMsTotal, r.WritesPerSec)
+		}
+		fmt.Printf("wrote %s\n", *hier)
+		return
+	}
 
 	if *matrix != "" {
 		bj, err := bench.SaveMatrixJSON(*matrix, time.Now().UTC().Format("2006-01-02"), bench.DefaultMatrixOpts())

@@ -40,6 +40,13 @@
 // successions with the dead grants waited out in full:
 //
 //	p4auth-inspect group
+//
+// And the hierarchical control plane: deterministic chaos reference
+// runs of the per-pod shard groups and the global key broker under the
+// WAN-partition and global-kill scenarios, printing the event trace and
+// the invariant summary of each:
+//
+//	p4auth-inspect hierarchy
 package main
 
 import (
@@ -69,6 +76,13 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "links" {
 		if err := runLinks(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "hierarchy" {
+		if err := runHierarchy(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -73,15 +73,16 @@ type EnvBlock struct {
 
 // BenchJSON is the checked-in benchmark artifact.
 type BenchJSON struct {
-	Date      string        `json:"date"`
-	Env       *EnvBlock     `json:"env,omitempty"`
-	Micro     []MicroResult `json:"micro"`
-	Fig19Pipe []TputRow     `json:"fig19_pipelined"`
-	Parallel  []ParallelRow `json:"fig19_parallel,omitempty"`
-	Fleet     *FleetBlock   `json:"fleet,omitempty"`
-	Matrix    *MatrixBlock  `json:"fleet_matrix,omitempty"`
-	Group     []GroupRow    `json:"group_failover,omitempty"`
-	Metrics   *MetricsBlock `json:"metrics,omitempty"`
+	Date      string         `json:"date"`
+	Env       *EnvBlock      `json:"env,omitempty"`
+	Micro     []MicroResult  `json:"micro"`
+	Fig19Pipe []TputRow      `json:"fig19_pipelined"`
+	Parallel  []ParallelRow  `json:"fig19_parallel,omitempty"`
+	Fleet     *FleetBlock    `json:"fleet,omitempty"`
+	Matrix    *MatrixBlock   `json:"fleet_matrix,omitempty"`
+	Group     []GroupRow     `json:"group_failover,omitempty"`
+	Hierarchy []HierarchyRow `json:"hierarchy,omitempty"`
+	Metrics   *MetricsBlock  `json:"metrics,omitempty"`
 }
 
 func micro(name string, fn func(b *testing.B)) MicroResult {
@@ -271,6 +272,27 @@ func SaveMatrixJSON(path, date string, o MatrixOpts) (*BenchJSON, error) {
 			GoVersion:  runtime.Version(),
 		},
 		Matrix: mb,
+	}
+	return bj, writeBenchFile(bj, path)
+}
+
+// SaveHierarchyJSON collects the hierarchical control-plane artifact
+// alone and writes it as a BENCH_<date>-hierarchy.json-style file
+// (cross-pod establishment latency + aggregate pod write throughput,
+// without re-running the micro-benchmarks).
+func SaveHierarchyJSON(path, date string) (*BenchJSON, error) {
+	rows, err := hierarchyBenchRows()
+	if err != nil {
+		return nil, err
+	}
+	bj := &BenchJSON{
+		Date: date,
+		Env: &EnvBlock{
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			GoVersion:  runtime.Version(),
+		},
+		Hierarchy: rows,
 	}
 	return bj, writeBenchFile(bj, path)
 }

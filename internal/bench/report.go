@@ -83,6 +83,7 @@ func All() []Runner {
 		{"fleet", func() (*Report, error) { return Fleet(DefaultFleetOpts()) }},
 		{"matrix", func() (*Report, error) { return FleetMatrix(DefaultMatrixOpts()) }},
 		{"group", func() (*Report, error) { return Group() }},
+		{"hierarchy", func() (*Report, error) { return HierarchyBench() }},
 		{"table2", func() (*Report, error) { return TableII() }},
 		{"fig20", func() (*Report, error) { return Fig20(DefaultFig20Opts()) }},
 		{"fig21", func() (*Report, error) { return Fig21(DefaultFig21Opts()) }},

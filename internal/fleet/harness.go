@@ -233,6 +233,23 @@ func runFabricCell(fault string, protected bool, o Options) (Cell, string, error
 		logf(at, "partition: pod %d isolated", o.K-1)
 		logf(heal, "partition healed")
 	}
+	if fault == FaultWANPartition {
+		// Asymmetric cut: inbound into the last pod dies, outbound keeps
+		// flowing — the half-open failure WAN links actually exhibit. A
+		// latency spike on one agg-core link rides along for the heal
+		// window's reconvergence.
+		members := topo.PodMembers(o.K - 1)
+		at := loadStart + time.Millisecond + jitter(time.Millisecond)
+		heal := at + 1500*time.Microsecond
+		sim.At(at, func() { topo.Net.PartitionAsym(members...) })
+		sim.At(heal, func() { topo.Net.Heal() })
+		lk := topo.Links[int(rng.Uint64()%uint64(len(topo.Links)/2))]
+		spike := lk.L
+		spikeEnd := heal + 2*time.Millisecond
+		sim.At(0, func() { _ = spike.AddLatencySpike(lk.A, at, spikeEnd, 200*time.Microsecond) })
+		logf(at, "wanpartition: inbound to pod %d cut, spike on %s-%s", o.K-1, lk.A, lk.B)
+		logf(heal, "wanpartition healed")
+	}
 	recoveryErrs := 0
 	if fault == FaultCtrlKill || fault == FaultComposed {
 		at := loadStart + 2*time.Millisecond + jitter(time.Millisecond)
@@ -245,6 +262,21 @@ func runFabricCell(fault string, protected bool, o Options) (Cell, string, error
 		})
 		logf(at, "ctrlkill")
 		logf(rec, "controller recovered")
+	}
+	if fault == FaultGlobalKill {
+		// The broker/controller tier goes fully dark for an extended
+		// window — triple the ctrlkill outage. The data plane forwards on
+		// committed state throughout; recovery re-registers and resyncs.
+		at := loadStart + time.Millisecond + jitter(time.Millisecond)
+		rec := at + 3*time.Millisecond
+		sim.At(at, func() { topo.Ctrl.Kill() })
+		sim.At(rec, func() {
+			if err := topo.RecoverController(); err != nil {
+				recoveryErrs++
+			}
+		})
+		logf(at, "globalkill: control tier dark")
+		logf(rec, "global controller recovered")
 	}
 	if fault == FaultSwCrash || fault == FaultComposed {
 		if err := topo.SaveDeviceStates(1); err != nil {
@@ -314,6 +346,12 @@ func fabricFloor(fault string) float64 {
 		return 0.80
 	case FaultPartition:
 		return 0.60
+	case FaultWANPartition:
+		// One direction survives the cut, so the floor sits between the
+		// full partition's and a healthy run's.
+		return 0.65
+	case FaultGlobalKill:
+		return 0.90
 	case FaultSwCrash:
 		return 0.70
 	default: // composed

@@ -50,7 +50,10 @@ func TestConformanceAttack(t *testing.T) {
 // reboot + ReviveSwitch) must succeed.
 func TestFabricFaultRecovery(t *testing.T) {
 	o := DefaultOptions()
-	for _, fault := range []string{FaultFlap, FaultPartition, FaultCtrlKill, FaultSwCrash} {
+	for _, fault := range []string{
+		FaultFlap, FaultPartition, FaultCtrlKill, FaultSwCrash,
+		FaultWANPartition, FaultGlobalKill,
+	} {
 		fault := fault
 		t.Run(fault, func(t *testing.T) {
 			cell, _, err := RunCell("hula", fault, true, o)
@@ -116,12 +119,13 @@ func TestFaultsForCoversMatrix(t *testing.T) {
 	if len(Apps()) != 8 {
 		t.Fatalf("Apps() lists %d apps, want 8", len(Apps()))
 	}
-	if got := len(FaultsFor("hula")); got != 7 {
-		t.Errorf("hula runs %d faults, want 7", got)
+	if got := len(FaultsFor("hula")); got != 9 {
+		t.Errorf("hula runs %d faults, want 9", got)
 	}
 	for _, app := range Apps()[1:] {
 		for _, f := range FaultsFor(app) {
-			if f == FaultFlap || f == FaultPartition || f == FaultSwCrash {
+			if f == FaultFlap || f == FaultPartition || f == FaultSwCrash ||
+				f == FaultWANPartition || f == FaultGlobalKill {
 				t.Errorf("standalone app %s claims fabric fault %s", app, f)
 			}
 		}

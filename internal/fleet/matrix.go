@@ -18,6 +18,15 @@ const (
 	FaultCtrlKill  = "ctrlkill"
 	FaultSwCrash   = "swcrash"
 	FaultComposed  = "composed"
+	// FaultWANPartition is an asymmetric WAN-style cut: traffic INTO the
+	// last pod is dropped while its outbound direction keeps flowing, plus
+	// a latency spike on one inter-pod link — the regime the hierarchical
+	// control plane's degraded mode is built for.
+	FaultWANPartition = "wanpartition"
+	// FaultGlobalKill kills the controller for an extended dark window
+	// (modeling loss of the global broker tier): the data plane must keep
+	// forwarding on committed state until recovery.
+	FaultGlobalKill = "globalkill"
 )
 
 // Apps lists every protected application of the paper's Table I that the
@@ -38,6 +47,7 @@ func FaultsFor(app string) []string {
 		return []string{
 			FaultNone, FaultAttack, FaultFlap, FaultPartition,
 			FaultCtrlKill, FaultSwCrash, FaultComposed,
+			FaultWANPartition, FaultGlobalKill,
 		}
 	}
 	return []string{FaultNone, FaultAttack, FaultCtrlKill, FaultComposed}

@@ -27,10 +27,14 @@ type groupFleet struct {
 	grp   *Group
 }
 
-func newGroupFleet(t *testing.T, nSwitches, nReplicas int, ttl time.Duration) *groupFleet {
+func newGroupFleet(t *testing.T, nSwitches, nReplicas int, ttl time.Duration, cfg ...statestore.FaultConfig) *groupFleet {
 	t.Helper()
 	f := &groupFleet{clk: &tclock{}, ob: obs.NewObserver(0)}
-	f.st = statestore.NewFaultStore(statestore.NewMem(), f.clk, statestore.FaultConfig{})
+	var fc statestore.FaultConfig
+	if len(cfg) > 0 {
+		fc = cfg[0]
+	}
+	f.st = statestore.NewFaultStore(statestore.NewMem(), f.clk, fc)
 	sw := map[string]*deploy.Switch{}
 	for i := 0; i < nSwitches; i++ {
 		name := fmt.Sprintf("s%02d", i)

@@ -1,0 +1,78 @@
+package ha
+
+import (
+	"testing"
+	"time"
+
+	"p4auth/internal/statestore"
+)
+
+// TestGroupElectionUnderSlowCAS re-runs the group election with every
+// store operation charged wall latency (a slow or congested store, the
+// regime where lease races actually happen), sampling the one-active
+// invariant at every compare-and-swap: at no instant during the
+// election may two replicas pass their fences simultaneously.
+func TestGroupElectionUnderSlowCAS(t *testing.T) {
+	ttl := 100 * time.Millisecond
+	f := newGroupFleet(t, 3, 3, ttl, statestore.FaultConfig{Seed: 5, Latency: time.Millisecond})
+	f.bootstrapAndWrite(t)
+
+	// Sample on every lease CAS — the exact instants ownership can
+	// change hands. The fence checks inside the sample read the store
+	// themselves, so the hook guards against recursion (and each sample
+	// charges real store latency, stressing the lease further).
+	var samples, violations int
+	inHook := false
+	f.st.SetHook(func(op statestore.Op, key string) {
+		if inHook || op != statestore.OpCAS || key != statestore.LeaseKey {
+			return
+		}
+		inHook = true
+		defer func() { inHook = false }()
+		samples++
+		active := 0
+		for _, r := range f.grp.Replicas() {
+			if !r.Controller().Killed() && r.IsActive() {
+				active++
+			}
+		}
+		if active > 1 {
+			violations++
+		}
+	})
+
+	f.grp.Replicas()[0].Controller().Kill()
+	el, err := f.grp.Elect(CauseElected)
+	if err != nil {
+		t.Fatalf("elect under slow CAS: %v", err)
+	}
+	if el.Winner.Name() != "ctl-1" || el.Incumbent {
+		t.Fatalf("election = %+v, want fresh ctl-1 win", el)
+	}
+	if el.Winner.Epoch() != 2 {
+		t.Fatalf("winner epoch = %d, want 2", el.Winner.Epoch())
+	}
+	if samples == 0 {
+		t.Fatal("no CAS instants sampled — the hook never fired")
+	}
+	if violations != 0 {
+		t.Fatalf("two actives at %d of %d sampled CAS instants", violations, samples)
+	}
+	// The charged latency is real virtual time: the election cannot have
+	// been instantaneous.
+	if el.Duration <= 0 {
+		t.Fatalf("election duration %v under per-op latency, want > 0", el.Duration)
+	}
+	// The winner serves despite the slow store.
+	if _, err := el.Winner.Controller().WriteRegister(f.names[0], "lat", 2, 99); err != nil {
+		t.Fatalf("post-election write: %v", err)
+	}
+	// A spurious re-election returns the incumbent, never deposing it.
+	el2, err := f.grp.Elect(CauseElected)
+	if err != nil || !el2.Incumbent || el2.Winner != el.Winner {
+		t.Fatalf("spurious elect = %+v, %v; want incumbent %s", el2, err, el.Winner.Name())
+	}
+	if violations != 0 {
+		t.Fatalf("late violations: %d", violations)
+	}
+}

@@ -1,0 +1,244 @@
+// Package hierarchy is the two-tier control plane over the flat
+// controller groups of internal/ha: a LOCAL tier of per-pod replica
+// groups — one ha.Group per pod, each with an independent WAL/lease
+// prefix in the shared statestore, owning only its pod's switches — and
+// a GLOBAL tier (its own lease-fenced replica group) that brokers
+// cross-pod port keys for the inter-pod agg-core links of a fat tree.
+// The split mirrors P4sec's local/global architecture: local domains
+// run autonomously, and only signed broker RPCs cross the untrusted
+// WAN.
+//
+// Robustness discipline:
+//
+//   - every broker RPC is bounded: fixed attempt count, fixed per-try
+//     timeout, deterministic exponential backoff;
+//   - the global tier serves a grant only while its active replica
+//     passes the lease fence, so no cross-pod key is ever established
+//     without a fenced global grant;
+//   - a pod that loses the WAN degrades gracefully — intra-pod traffic
+//     keeps flowing on the pod's own lease, established cross-pod keys
+//     stay cached, rollovers are deferred and audited — mirroring the
+//     bounded-staleness discipline of the replica fence;
+//   - all broker frames are CRC-armoured and signed with a per-pod
+//     broker key (KDF-derived); a forged or tampered frame is dropped
+//     and counted, never acted on.
+package hierarchy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"p4auth/internal/crypto"
+)
+
+// Broker frame types. Requests carry the sender's per-RPC sequence
+// number; a response echoes the request's sequence, which is also the
+// idempotency key for retransmits.
+const (
+	// TGrantReq: pod -> global, request a fenced grant to establish or
+	// roll the named cross-pod link.
+	TGrantReq uint8 = iota + 1
+	// TGrantOK: global -> pod, the grant (id + fencing epoch).
+	TGrantOK
+	// TExchReq: pod -> global, the initiator's half of a split port-key
+	// exchange (pk1, salt1, pre-exchange version) under a held grant.
+	TExchReq
+	// TExchOK: global -> pod, the remote half (pk2, salt2) relayed back
+	// from the owning pod.
+	TExchOK
+	// TRelayReq: global -> owning pod, deliver the initiator's half for
+	// execution against the link's remote switch.
+	TRelayReq
+	// TRelayOK: owning pod -> global, the executed remote half.
+	TRelayOK
+	// TRefuse: a typed refusal in either direction; Hint carries the
+	// cause and, for skew refusals, VerSlot the remote version.
+	TRefuse
+)
+
+// Refusal causes (Frame.Hint on TRefuse).
+const (
+	// RefuseUnfenced: the global tier has no fenced active replica.
+	RefuseUnfenced uint8 = iota + 1
+	// RefuseEpoch: the grant is unknown or from a superseded fencing
+	// epoch; re-request.
+	RefuseEpoch
+	// RefuseNotActive: the owning pod has no fenced active replica to
+	// run the remote half.
+	RefuseNotActive
+	// RefuseSkew: the remote slot runs ahead of the initiator's claimed
+	// version (VerSlot carries the remote version); realign and retry.
+	RefuseSkew
+	// RefuseTimeout: the global tier's relay to the owning pod timed
+	// out after its bounded retries.
+	RefuseTimeout
+	// RefuseExec: the remote half failed on the owning pod's switch.
+	RefuseExec
+)
+
+// refusalNames maps causes to stable labels for traces and audits.
+var refusalNames = map[uint8]string{
+	RefuseUnfenced:  "global-unfenced",
+	RefuseEpoch:     "grant-epoch-superseded",
+	RefuseNotActive: "pod-not-active",
+	RefuseSkew:      "remote-slot-ahead",
+	RefuseTimeout:   "relay-timeout",
+	RefuseExec:      "remote-exec-failed",
+}
+
+// RefusalName returns the stable label of a refusal cause.
+func RefusalName(c uint8) string {
+	if n, ok := refusalNames[c]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// GlobalPod is the Frame.Pod value identifying the global tier.
+const GlobalPod uint8 = 0xFF
+
+// frameMagic spells "PABR" (P4Auth BRoker).
+const frameMagic uint32 = 0x50414252
+
+// frameVersion is the wire version.
+const frameVersion uint8 = 1
+
+// frameCRCKey keys the outer CRC armor. Not a secret: the CRC defends
+// against torn and bit-flipped frames, the keyed digest against forgery.
+const frameCRCKey uint64 = 0x5041_4252_C4C4_0001
+
+// Frame is one broker RPC message. Fixed numeric fields plus the two
+// switch names; Encode produces the canonical byte layout, Decode
+// parses and CRC-checks it, Verify authenticates the digest.
+type Frame struct {
+	Type  uint8
+	Pod   uint8  // sender: pod id, or GlobalPod
+	Hint  uint8  // refusal cause on TRefuse; spare elsewhere
+	Seq   uint32 // per-sender RPC sequence; echoed by responses
+	Epoch uint64 // global fencing epoch of the grant
+	Grant uint64 // grant id
+	PK    uint64 // DH public share (pk1 outbound, pk2 back)
+	Salt  uint32 // exchange salt (s1 outbound, s2 back)
+	Ver   uint8  // pre-exchange slot version; remote version on RefuseSkew
+	A     string // initiator-side switch
+	PA    uint16 // initiator-side port
+	B     string // remote-side switch
+	PB    uint16 // remote-side port
+
+	digest uint32 // verified on Decode'd frames via Verify
+	signed []byte // the signed region of the decoded wire image
+}
+
+// Codec errors.
+var (
+	// ErrTorn: the frame failed structural or CRC validation — a torn,
+	// truncated, or bit-flipped wire image.
+	ErrTorn = errors.New("hierarchy: torn broker frame")
+	// ErrForged: the frame's keyed digest did not verify.
+	ErrForged = errors.New("hierarchy: forged broker frame")
+)
+
+var (
+	brokerDigester = crypto.NewHalfSipHashDigester()
+	brokerCRC      = crypto.NewKeyedCRC32()
+)
+
+// maxNameLen bounds switch-name fields on the wire.
+const maxNameLen = 64
+
+// Encode renders the canonical wire image: body, then a keyed digest
+// over the body under key, then CRC armor over body+digest.
+func (f *Frame) Encode(key uint64) ([]byte, error) {
+	if len(f.A) > maxNameLen || len(f.B) > maxNameLen {
+		return nil, fmt.Errorf("hierarchy: switch name too long (%d/%d)", len(f.A), len(f.B))
+	}
+	b := make([]byte, 0, 64+len(f.A)+len(f.B))
+	b = binary.BigEndian.AppendUint32(b, frameMagic)
+	b = append(b, frameVersion, f.Type, f.Pod, f.Hint)
+	b = binary.BigEndian.AppendUint32(b, f.Seq)
+	b = binary.BigEndian.AppendUint64(b, f.Epoch)
+	b = binary.BigEndian.AppendUint64(b, f.Grant)
+	b = binary.BigEndian.AppendUint64(b, f.PK)
+	b = binary.BigEndian.AppendUint32(b, f.Salt)
+	b = append(b, f.Ver)
+	b = binary.BigEndian.AppendUint16(b, f.PA)
+	b = binary.BigEndian.AppendUint16(b, f.PB)
+	b = append(b, uint8(len(f.A)))
+	b = append(b, f.A...)
+	b = append(b, uint8(len(f.B)))
+	b = append(b, f.B...)
+	dig := brokerDigester.Sum32(key, b)
+	b = binary.BigEndian.AppendUint32(b, dig)
+	b = binary.BigEndian.AppendUint32(b, brokerCRC.Sum32(frameCRCKey, b))
+	return b, nil
+}
+
+// Decode parses and CRC-checks a wire image. The digest is NOT verified
+// here — the caller must Verify with the sender's expected key, because
+// which key applies depends on the claimed sender.
+func Decode(b []byte) (*Frame, error) {
+	const fixed = 4 + 4 + 4 + 8 + 8 + 8 + 4 + 1 + 2 + 2 // through PB
+	if len(b) < fixed+2+8 {
+		return nil, ErrTorn
+	}
+	crcOff := len(b) - 4
+	if brokerCRC.Sum32(frameCRCKey, b[:crcOff]) != binary.BigEndian.Uint32(b[crcOff:]) {
+		return nil, ErrTorn
+	}
+	if binary.BigEndian.Uint32(b) != frameMagic || b[4] != frameVersion {
+		return nil, ErrTorn
+	}
+	f := &Frame{
+		Type:  b[5],
+		Pod:   b[6],
+		Hint:  b[7],
+		Seq:   binary.BigEndian.Uint32(b[8:]),
+		Epoch: binary.BigEndian.Uint64(b[12:]),
+		Grant: binary.BigEndian.Uint64(b[20:]),
+		PK:    binary.BigEndian.Uint64(b[28:]),
+		Salt:  binary.BigEndian.Uint32(b[36:]),
+		Ver:   b[40],
+		PA:    binary.BigEndian.Uint16(b[41:]),
+		PB:    binary.BigEndian.Uint16(b[43:]),
+	}
+	p := 45
+	take := func() (string, bool) {
+		if p >= crcOff-4 {
+			return "", false
+		}
+		n := int(b[p])
+		p++
+		if n > maxNameLen || p+n > crcOff-4 {
+			return "", false
+		}
+		s := string(b[p : p+n])
+		p += n
+		return s, true
+	}
+	var ok bool
+	if f.A, ok = take(); !ok {
+		return nil, ErrTorn
+	}
+	if f.B, ok = take(); !ok {
+		return nil, ErrTorn
+	}
+	if p != crcOff-4 {
+		return nil, ErrTorn
+	}
+	if f.Type < TGrantReq || f.Type > TRefuse {
+		return nil, ErrTorn
+	}
+	f.digest = binary.BigEndian.Uint32(b[crcOff-4:])
+	f.signed = b[:crcOff-4]
+	return f, nil
+}
+
+// Verify authenticates a decoded frame's digest under key. Frames built
+// locally (not via Decode) do not verify.
+func (f *Frame) Verify(key uint64) bool {
+	if f.signed == nil {
+		return false
+	}
+	return crypto.Verify(brokerDigester, key, f.signed, f.digest)
+}

@@ -1,0 +1,71 @@
+package hierarchy
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestHierarchyChaos is the hierarchy-chaos gate: both scenarios over
+// fixed seeds, zero invariant violations tolerated.
+func TestHierarchyChaos(t *testing.T) {
+	for _, sc := range []ChaosScenario{ScenarioWANPartition, ScenarioGlobalKill} {
+		for _, seed := range []uint64{1, 7, 42} {
+			t.Run(string(sc)+"/"+string('0'+byte(seed%10)), func(t *testing.T) {
+				res, err := RunChaos(ChaosOptions{Seed: seed, Scenario: sc})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				for _, v := range res.Violations {
+					t.Errorf("seed %d violation: %s", seed, v)
+				}
+				if t.Failed() {
+					for _, line := range res.Trace {
+						t.Log(line)
+					}
+				}
+				if res.Establishes == 0 || res.Grants == 0 {
+					t.Fatalf("seed %d: run did no broker work: %+v", seed, res)
+				}
+				if sc == ScenarioWANPartition {
+					if res.Deferred == 0 || res.Flushed == 0 {
+						t.Fatalf("seed %d: degraded window exercised nothing: deferred=%d flushed=%d",
+							seed, res.Deferred, res.Flushed)
+					}
+					if res.ForgedDropped == 0 || res.TornDropped == 0 {
+						t.Fatalf("seed %d: injection sweeps dropped nothing: forged=%d torn=%d",
+							seed, res.ForgedDropped, res.TornDropped)
+					}
+				}
+				if sc == ScenarioGlobalKill && res.Refusals == 0 {
+					t.Fatalf("seed %d: dark window refused nothing", seed)
+				}
+			})
+		}
+	}
+}
+
+// TestHierarchyDeterminism: equal options produce bit-identical traces.
+func TestHierarchyDeterminism(t *testing.T) {
+	for _, sc := range []ChaosScenario{ScenarioWANPartition, ScenarioGlobalKill} {
+		a, err := RunChaos(ChaosOptions{Seed: 99, Scenario: sc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunChaos(ChaosOptions{Seed: 99, Scenario: sc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Trace, b.Trace) {
+			for i := range a.Trace {
+				if i >= len(b.Trace) || a.Trace[i] != b.Trace[i] {
+					t.Fatalf("%s: traces diverge at line %d:\n  a: %s\n  b: %s",
+						sc, i, a.Trace[i], b.Trace[i])
+				}
+			}
+			t.Fatalf("%s: trace lengths differ: %d vs %d", sc, len(a.Trace), len(b.Trace))
+		}
+		if !reflect.DeepEqual(a.Violations, b.Violations) || a.Establishes != b.Establishes {
+			t.Fatalf("%s: results diverge across identical runs", sc)
+		}
+	}
+}

@@ -105,6 +105,23 @@ func (s *Sim) Step() bool {
 	return true
 }
 
+// NextEventAt reports the timestamp of the earliest pending event, or
+// false when the queue is empty. Like Step it is a lockstep-only
+// primitive (it panics on a sharded simulator): blocking RPC loops use
+// it to run the simulator forward event-by-event up to a deadline
+// without overshooting it.
+func (s *Sim) NextEventAt() (time.Duration, bool) {
+	if s.shardCount() > 1 {
+		panic("netsim: NextEventAt requires lockstep mode (shards <= 1)")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pq.Len() == 0 {
+		return 0, false
+	}
+	return s.pq[0].at, true
+}
+
 // Run drains the event queue.
 func (s *Sim) Run() {
 	if s.shardCount() > 1 {
@@ -233,6 +250,14 @@ type linkEnd struct {
 	peer      *linkEnd
 	busyUntil time.Duration
 	tap       Tap
+	// dirDown cuts only the direction of the link that delivers INTO
+	// this end's node — the asymmetric half of a WAN partition. Checked
+	// at delivery time like Link.down; guarded by link.mu.
+	dirDown bool
+	// spikes are latency-spike windows on the direction delivering into
+	// this end's node: a packet departing inside [from,to) is delayed by
+	// an additional extra. Guarded by link.mu.
+	spikes []latencySpike
 	// utilization accounting (bytes entering the link from this end)
 	ewmaBps    float64
 	ewmaAt     time.Duration
@@ -358,6 +383,90 @@ func (l *Link) Down() bool {
 	return l.down
 }
 
+// latencySpike is one extra-delay window on a link direction.
+type latencySpike struct {
+	from, to time.Duration // [from, to) in departure time
+	extra    time.Duration
+}
+
+func (e *linkEnd) spikeExtra(depart time.Duration) time.Duration {
+	var extra time.Duration
+	for _, s := range e.spikes {
+		if depart >= s.from && depart < s.to {
+			extra += s.extra
+		}
+	}
+	return extra
+}
+
+// end returns the link end that delivers into the named node.
+func (l *Link) end(towardNode string) (*linkEnd, error) {
+	switch towardNode {
+	case l.a.node.Name:
+		return l.a, nil
+	case l.b.node.Name:
+		return l.b, nil
+	}
+	return nil, fmt.Errorf("netsim: link does not touch node %q", towardNode)
+}
+
+// SetDirDown cuts (true) or restores (false) only the direction of the
+// link that delivers INTO the named node, leaving the reverse direction
+// untouched — the asymmetric half of a WAN partition: the victim keeps
+// transmitting but hears nothing back. Like SetDown, the cut acts at
+// delivery time, so packets in flight are lost.
+func (l *Link) SetDirDown(towardNode string, down bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, err := l.end(towardNode)
+	if err != nil {
+		return err
+	}
+	e.dirDown = down
+	return nil
+}
+
+// DirDown reports whether the direction delivering into the named node
+// is administratively cut (SetDirDown; a full SetDown is reported by
+// Down, not here).
+func (l *Link) DirDown(towardNode string) (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, err := l.end(towardNode)
+	if err != nil {
+		return false, err
+	}
+	return e.dirDown, nil
+}
+
+// AddLatencySpike injects a WAN latency spike on the direction of the
+// link that delivers into the named node: every packet departing in
+// [from, to) is delayed by an additional extra on top of propagation,
+// serialization, and queueing. Spikes accumulate; overlapping windows
+// add. Packets already scheduled keep their original delivery times —
+// a spike stretches the path, it does not reorder history.
+func (l *Link) AddLatencySpike(towardNode string, from, to, extra time.Duration) error {
+	if to <= from || extra < 0 {
+		return fmt.Errorf("netsim: invalid latency spike window [%v,%v) extra %v", from, to, extra)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, err := l.end(towardNode)
+	if err != nil {
+		return err
+	}
+	e.spikes = append(e.spikes, latencySpike{from: from, to: to, extra: extra})
+	return nil
+}
+
+// ClearLatencySpikes removes all spike windows in both directions.
+func (l *Link) ClearLatencySpikes() {
+	l.mu.Lock()
+	l.a.spikes = nil
+	l.b.spikes = nil
+	l.mu.Unlock()
+}
+
 // Send transmits data from node's port after delay extraDelay (the sender's
 // local processing time). It returns an error if the port is unconnected.
 func (n *Network) Send(node *Node, port int, data []byte, extraDelay time.Duration) error {
@@ -387,12 +496,15 @@ func (n *Network) Send(node *Node, port int, data []byte, extraDelay time.Durati
 	depart := start + ser
 	end.busyUntil = depart
 	end.recordBytes(now, len(d))
+	dst := end.peer
+	// Latency spikes stretch this direction of the path for packets
+	// departing inside a spike window (WAN fault injection).
+	spike := dst.spikeExtra(depart)
 	l.mu.Unlock()
 
-	dst := end.peer
-	n.Sim.AtShard(dst.node.shard, depart+l.Delay, func() {
+	n.Sim.AtShard(dst.node.shard, depart+l.Delay+spike, func() {
 		l.mu.Lock()
-		down, tap := l.down, dst.tap
+		down, tap := l.down || dst.dirDown, dst.tap
 		if down {
 			dst.dropped++
 		}
@@ -511,15 +623,56 @@ func (n *Network) Partition(group ...string) []*Link {
 	return cut
 }
 
-// Heal restores every administratively-cut link and reports how many it
+// Heal restores every administratively-cut link — full cuts and
+// asymmetric direction cuts alike — and reports how many links it
 // brought back up.
 func (n *Network) Heal() int {
 	healed := 0
 	for _, l := range n.links {
+		touched := false
 		if l.Down() {
 			l.SetDown(false)
+			touched = true
+		}
+		l.mu.Lock()
+		if l.a.dirDown || l.b.dirDown {
+			l.a.dirDown, l.b.dirDown = false, false
+			touched = true
+		}
+		l.mu.Unlock()
+		if touched {
 			healed++
 		}
 	}
 	return healed
+}
+
+// PartitionAsym cuts only the INBOUND direction of every link with
+// exactly one end inside the named group: group members keep
+// transmitting into the rest of the network, but hear nothing back — the
+// classic asymmetric WAN failure (one-way fiber cut, unidirectional
+// filtering). It returns the links it cut; heal them with
+// SetDirDown(member, false) per link, or Network.Heal.
+func (n *Network) PartitionAsym(group ...string) []*Link {
+	in := make(map[string]bool, len(group))
+	for _, name := range group {
+		in[name] = true
+	}
+	var cut []*Link
+	for _, l := range n.links {
+		a, b := l.Ends()
+		if in[a] == in[b] {
+			continue
+		}
+		member := a
+		if in[b] {
+			member = b
+		}
+		if d, _ := l.DirDown(member); d {
+			continue
+		}
+		l.SetDirDown(member, true)
+		cut = append(cut, l)
+	}
+	return cut
 }

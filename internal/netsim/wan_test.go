@@ -1,0 +1,184 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// twoNodes builds a-b connected on port 1 with the given delay and
+// returns the network, the link, and per-node delivery logs.
+func twoNodes(t *testing.T, delay time.Duration) (*Network, *Link, map[string]*[]string) {
+	t.Helper()
+	net := NewNetwork()
+	got := map[string]*[]string{"a": {}, "b": {}}
+	mk := func(name string) Handler {
+		log := got[name]
+		return HandlerFunc(func(_ *Network, _ *Node, _ int, data []byte) {
+			*log = append(*log, string(data))
+		})
+	}
+	net.AddNode("a", mk("a"))
+	net.AddNode("b", mk("b"))
+	l := net.MustConnect("a", 1, "b", 1, delay, 0)
+	return net, l, got
+}
+
+func TestSetDirDownAsymmetric(t *testing.T) {
+	net, l, got := twoNodes(t, time.Millisecond)
+	if err := l.SetDirDown("b", true); err != nil {
+		t.Fatalf("SetDirDown: %v", err)
+	}
+	// a -> b is cut; b -> a still flows.
+	net.Send(net.Node("a"), 1, []byte("to-b"), 0)
+	net.Send(net.Node("b"), 1, []byte("to-a"), 0)
+	net.Sim.Run()
+	if len(*got["b"]) != 0 {
+		t.Fatalf("b received %v through a cut direction", *got["b"])
+	}
+	if len(*got["a"]) != 1 || (*got["a"])[0] != "to-a" {
+		t.Fatalf("a received %v, want [to-a]", *got["a"])
+	}
+	if d, _ := l.DirDown("b"); !d {
+		t.Fatalf("DirDown(b) = false after cut")
+	}
+	if d, _ := l.DirDown("a"); d {
+		t.Fatalf("DirDown(a) = true, reverse direction must stay up")
+	}
+	// Restore and verify delivery resumes.
+	if err := l.SetDirDown("b", false); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	net.Send(net.Node("a"), 1, []byte("again"), 0)
+	net.Sim.Run()
+	if len(*got["b"]) != 1 || (*got["b"])[0] != "again" {
+		t.Fatalf("b received %v after heal, want [again]", *got["b"])
+	}
+}
+
+func TestDirDownActsAtDeliveryTime(t *testing.T) {
+	net, l, got := twoNodes(t, 10*time.Millisecond)
+	// Packet departs now, direction cut before its delivery time: lost.
+	net.Send(net.Node("a"), 1, []byte("in-flight"), 0)
+	net.Sim.At(time.Millisecond, func() { l.SetDirDown("b", true) })
+	net.Sim.Run()
+	if len(*got["b"]) != 0 {
+		t.Fatalf("in-flight packet survived a direction cut: %v", *got["b"])
+	}
+}
+
+func TestPartitionAsym(t *testing.T) {
+	net := NewNetwork()
+	var gotA, gotB, gotC []string
+	net.AddNode("a", HandlerFunc(func(_ *Network, _ *Node, _ int, d []byte) { gotA = append(gotA, string(d)) }))
+	net.AddNode("b", HandlerFunc(func(_ *Network, _ *Node, _ int, d []byte) { gotB = append(gotB, string(d)) }))
+	net.AddNode("c", HandlerFunc(func(_ *Network, _ *Node, _ int, d []byte) { gotC = append(gotC, string(d)) }))
+	net.MustConnect("a", 1, "b", 1, time.Millisecond, 0)
+	net.MustConnect("b", 2, "c", 1, time.Millisecond, 0)
+
+	cut := net.PartitionAsym("b")
+	if len(cut) != 2 {
+		t.Fatalf("cut %d links, want 2", len(cut))
+	}
+	// b transmits out fine, hears nothing back.
+	net.Send(net.Node("b"), 1, []byte("b-to-a"), 0)
+	net.Send(net.Node("b"), 2, []byte("b-to-c"), 0)
+	net.Send(net.Node("a"), 1, []byte("a-to-b"), 0)
+	net.Send(net.Node("c"), 1, []byte("c-to-b"), 0)
+	net.Sim.Run()
+	if len(gotA) != 1 || gotA[0] != "b-to-a" {
+		t.Fatalf("a got %v", gotA)
+	}
+	if len(gotC) != 1 || gotC[0] != "b-to-c" {
+		t.Fatalf("c got %v", gotC)
+	}
+	if len(gotB) != 0 {
+		t.Fatalf("partitioned b heard %v", gotB)
+	}
+	// Repeat cut is a no-op (idempotent, heals stay independent).
+	if again := net.PartitionAsym("b"); len(again) != 0 {
+		t.Fatalf("second PartitionAsym re-cut %d links", len(again))
+	}
+	// Heal restores the inbound directions.
+	if healed := net.Heal(); healed != 2 {
+		t.Fatalf("healed %d links, want 2", healed)
+	}
+	net.Send(net.Node("a"), 1, []byte("post-heal"), 0)
+	net.Sim.Run()
+	if len(gotB) != 1 || gotB[0] != "post-heal" {
+		t.Fatalf("b got %v after heal", gotB)
+	}
+}
+
+func TestLatencySpikeWindow(t *testing.T) {
+	net, l, _ := twoNodes(t, time.Millisecond)
+	var arrivals []time.Duration
+	net.Node("b").Handler = HandlerFunc(func(_ *Network, _ *Node, _ int, _ []byte) {
+		arrivals = append(arrivals, net.Sim.Now())
+	})
+	// Spike of +10ms on a->b for departures in [2ms, 4ms).
+	if err := l.AddLatencySpike("b", 2*time.Millisecond, 4*time.Millisecond, 10*time.Millisecond); err != nil {
+		t.Fatalf("AddLatencySpike: %v", err)
+	}
+	send := func(at time.Duration) {
+		net.Sim.At(at, func() { net.Send(net.Node("a"), 1, []byte("x"), 0) })
+	}
+	send(0)                    // before window: 0 + 1ms = 1ms
+	send(3 * time.Millisecond) // inside: 3 + 1 + 10 = 14ms
+	send(5 * time.Millisecond) // after: 5 + 1 = 6ms
+	net.Sim.Run()
+	want := []time.Duration{time.Millisecond, 6 * time.Millisecond, 14 * time.Millisecond}
+	if len(arrivals) != 3 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	for i, w := range want {
+		if arrivals[i] != w {
+			t.Fatalf("arrival %d = %v, want %v (all: %v)", i, arrivals[i], w, arrivals)
+		}
+	}
+	// Reverse direction is unaffected.
+	var back []time.Duration
+	net.Node("a").Handler = HandlerFunc(func(_ *Network, _ *Node, _ int, _ []byte) {
+		back = append(back, net.Sim.Now())
+	})
+	t0 := net.Sim.Now()
+	net.Sim.At(t0+3*time.Millisecond, func() { net.Send(net.Node("b"), 1, []byte("y"), 0) })
+	net.Sim.Run()
+	if len(back) != 1 {
+		t.Fatalf("reverse delivery missing")
+	}
+	l.ClearLatencySpikes()
+	if err := l.AddLatencySpike("b", 4*time.Millisecond, 2*time.Millisecond, time.Millisecond); err == nil {
+		t.Fatalf("inverted spike window accepted")
+	}
+}
+
+func TestLatencySpikesAccumulate(t *testing.T) {
+	net, l, _ := twoNodes(t, 0)
+	var arrival time.Duration
+	net.Node("b").Handler = HandlerFunc(func(_ *Network, _ *Node, _ int, _ []byte) {
+		arrival = net.Sim.Now()
+	})
+	l.AddLatencySpike("b", 0, 10*time.Millisecond, 2*time.Millisecond)
+	l.AddLatencySpike("b", 0, 10*time.Millisecond, 3*time.Millisecond)
+	net.Send(net.Node("a"), 1, []byte("x"), 0)
+	net.Sim.Run()
+	if arrival != 5*time.Millisecond {
+		t.Fatalf("arrival = %v, want 5ms (overlapping spikes add)", arrival)
+	}
+}
+
+func TestNextEventAt(t *testing.T) {
+	s := NewSim()
+	if _, ok := s.NextEventAt(); ok {
+		t.Fatalf("empty sim reported a pending event")
+	}
+	s.At(7*time.Millisecond, func() {})
+	s.At(3*time.Millisecond, func() {})
+	if at, ok := s.NextEventAt(); !ok || at != 3*time.Millisecond {
+		t.Fatalf("NextEventAt = %v, %v; want 3ms, true", at, ok)
+	}
+	s.Step()
+	if at, ok := s.NextEventAt(); !ok || at != 7*time.Millisecond {
+		t.Fatalf("NextEventAt after step = %v, %v; want 7ms, true", at, ok)
+	}
+}

@@ -66,6 +66,17 @@ const (
 	// mid-promotion before the winner (chained succession depth), Value
 	// the winning epoch.
 	EvElection
+	// EvBrokerGrant: the global broker tier issued a fenced cross-pod
+	// key grant. Actor is the serving global replica, Cause the link,
+	// Seq the requesting pod, Value the fencing epoch the grant is
+	// valid under.
+	EvBrokerGrant
+	// EvWANDegraded: a pod tier's WAN path to the global broker
+	// transitioned — broker RPCs started failing (enter), service
+	// resumed (exit), or a cross-pod rollover was deferred while
+	// degraded (defer). Actor is the pod, Value the deferred-rollover
+	// backlog after the transition.
+	EvWANDegraded
 )
 
 var eventNames = map[EventType]string{
@@ -85,6 +96,8 @@ var eventNames = map[EventType]string{
 	EvFencedWrite:      "fenced_write",
 	EvDegraded:         "degraded_fence",
 	EvElection:         "election",
+	EvBrokerGrant:      "broker_grant",
+	EvWANDegraded:      "wan_degraded",
 }
 
 // String returns the stable snake_case name of the event type.

@@ -1,0 +1,132 @@
+package statestore
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestPrefixIsolation(t *testing.T) {
+	raw := NewMem()
+	p0 := MustPrefix(raw, "pod0")
+	p1 := MustPrefix(raw, "pod1/")
+
+	if err := p0.Save(LeaseKey, []byte("alpha")); err != nil {
+		t.Fatalf("p0 save: %v", err)
+	}
+	if err := p1.Save(LeaseKey, []byte("beta")); err != nil {
+		t.Fatalf("p1 save: %v", err)
+	}
+	v0, err := p0.Load(LeaseKey)
+	if err != nil || string(v0) != "alpha" {
+		t.Fatalf("p0 lease = %q, %v; want alpha", v0, err)
+	}
+	v1, err := p1.Load(LeaseKey)
+	if err != nil || string(v1) != "beta" {
+		t.Fatalf("p1 lease = %q, %v; want beta", v1, err)
+	}
+	// The raw store sees both under distinct roots.
+	if v, err := raw.Load("pod0/" + LeaseKey); err != nil || string(v) != "alpha" {
+		t.Fatalf("raw pod0 lease = %q, %v", v, err)
+	}
+	if v, err := raw.Load("pod1/" + LeaseKey); err != nil || string(v) != "beta" {
+		t.Fatalf("raw pod1 lease = %q, %v", v, err)
+	}
+	// Deleting in one view leaves the other intact.
+	if err := p0.Delete(LeaseKey); err != nil {
+		t.Fatalf("p0 delete: %v", err)
+	}
+	if _, err := p0.Load(LeaseKey); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("p0 lease after delete: err=%v, want ErrNotFound", err)
+	}
+	if v, err := p1.Load(LeaseKey); err != nil || string(v) != "beta" {
+		t.Fatalf("p1 lease after p0 delete = %q, %v", v, err)
+	}
+}
+
+func TestPrefixKeysStripped(t *testing.T) {
+	raw := NewMem()
+	p := MustPrefix(raw, "global")
+	for _, k := range []string{"wal/0001", "wal/0002", "ctl/snap"} {
+		if err := p.Save(k, []byte(k)); err != nil {
+			t.Fatalf("save %s: %v", k, err)
+		}
+	}
+	// Sibling namespace noise must not leak into the view.
+	if err := raw.Save("pod0/wal/0001", []byte("x")); err != nil {
+		t.Fatalf("raw save: %v", err)
+	}
+	keys, err := p.Keys("wal/")
+	if err != nil {
+		t.Fatalf("keys: %v", err)
+	}
+	want := []string{"wal/0001", "wal/0002"}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("keys = %v, want %v", keys, want)
+	}
+	// Returned keys are loadable through the view.
+	for _, k := range keys {
+		if v, err := p.Load(k); err != nil || string(v) != k {
+			t.Fatalf("load %s = %q, %v", k, v, err)
+		}
+	}
+}
+
+func TestPrefixCAS(t *testing.T) {
+	raw := NewMem()
+	p0 := MustPrefix(raw, "pod0")
+	p1 := MustPrefix(raw, "pod1")
+
+	ok, err := p0.CompareAndSwap(LeaseKey, nil, []byte("l0"))
+	if err != nil || !ok {
+		t.Fatalf("p0 initial CAS: ok=%v err=%v", ok, err)
+	}
+	// Same key in the sibling namespace is still absent.
+	ok, err = p1.CompareAndSwap(LeaseKey, nil, []byte("l1"))
+	if err != nil || !ok {
+		t.Fatalf("p1 initial CAS: ok=%v err=%v", ok, err)
+	}
+	// Stale prev loses in its own namespace only.
+	ok, err = p0.CompareAndSwap(LeaseKey, []byte("wrong"), []byte("x"))
+	if err != nil || ok {
+		t.Fatalf("p0 stale CAS: ok=%v err=%v, want lost race", ok, err)
+	}
+	ok, err = p0.CompareAndSwap(LeaseKey, []byte("l0"), []byte("l0b"))
+	if err != nil || !ok {
+		t.Fatalf("p0 CAS update: ok=%v err=%v", ok, err)
+	}
+	if v, _ := p1.Load(LeaseKey); !bytes.Equal(v, []byte("l1")) {
+		t.Fatalf("p1 lease perturbed by p0 CAS: %q", v)
+	}
+}
+
+func TestPrefixCASUnsupported(t *testing.T) {
+	p := MustPrefix(casless{NewMem()}, "pod0")
+	if _, err := p.CompareAndSwap(LeaseKey, nil, []byte("x")); err == nil {
+		t.Fatalf("CAS over a CAS-less store must error, got nil")
+	}
+}
+
+// casless hides Mem's Swapper implementation.
+type casless struct{ s *Mem }
+
+func (c casless) Save(key string, value []byte) error { return c.s.Save(key, value) }
+func (c casless) Load(key string) ([]byte, error)     { return c.s.Load(key) }
+func (c casless) Delete(key string) error             { return c.s.Delete(key) }
+func (c casless) Keys(prefix string) ([]string, error) {
+	return c.s.Keys(prefix)
+}
+
+func TestPrefixValidation(t *testing.T) {
+	if _, err := Prefix(NewMem(), ""); err == nil {
+		t.Fatalf("empty prefix accepted")
+	}
+	if _, err := Prefix(NewMem(), "bad prefix"); err == nil {
+		t.Fatalf("invalid prefix accepted")
+	}
+	p := MustPrefix(NewMem(), "ok")
+	if err := p.Save("../escape", []byte("x")); err == nil {
+		t.Fatalf("path escape accepted")
+	}
+}

@@ -42,6 +42,13 @@ go test -race ./...
 #                 in every protected cell, measurable corruption in
 #                 every unprotected attacked cell, trace bit-identical
 #                 to the checked-in golden, determinism reruns
+#   hierarchy-chaos  the two-tier control plane (per-pod shard groups +
+#                 global key broker) under forged/torn broker frames,
+#                 WAN latency spikes, an asymmetric partition, and a
+#                 global-tier kill + election: zero forged operations
+#                 applied, no cross-pod key without a fenced grant,
+#                 graceful degradation on cached keys, bounded
+#                 re-convergence, bit-identical traces per seed
 #   stress        pipelined writers vs concurrent rollovers under fault
 #                 taps, the sharded-switch suite, the sharded netsim
 #                 engine, and the HA failover stress (-count=1 for
@@ -54,7 +61,7 @@ go test -race ./...
 #                 checked-in seed corpora
 #   bench-smoke   the zero-allocation hot path through the real
 #                 benchmark harness
-echo "== concurrent gates (chaos, fabric-chaos, ha-chaos, group-chaos, matrix-chaos, stress, pisa-race, cover, fuzz-smoke, bench-smoke)"
+echo "== concurrent gates (chaos, fabric-chaos, ha-chaos, group-chaos, matrix-chaos, hierarchy-chaos, stress, pisa-race, cover, fuzz-smoke, bench-smoke)"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -78,6 +85,7 @@ run fabric-chaos go test -race -count=1 -run 'TestFabricShort|TestFabricDetermin
 run ha-chaos     go test -race -count=1 -run 'TestHAShort|TestHADeterminism' ./internal/netsim/chaos/
 run group-chaos  go test -race -count=1 -run 'TestGroupShort|TestGroupDeterminism' ./internal/netsim/chaos/
 run matrix-chaos go test -race -count=1 -run 'TestMatrixChaos|TestMatrixDeterminism' ./internal/fleet/
+run hierarchy-chaos go test -race -count=1 -run 'TestHierarchyChaos|TestHierarchyDeterminism' ./internal/hierarchy/
 run stress       go test -race -count=1 ./internal/controller/ ./internal/pisa/ ./internal/ha/ ./internal/netsim/
 run pisa-race    go test -race -count=1 ./internal/pisa/...
 run cover        ./scripts/cover.sh
@@ -87,7 +95,7 @@ run bench-smoke  go test -bench=BenchmarkAuthenticatedWrite -benchtime=10x -run 
 wait
 
 failed=0
-for name in chaos fabric-chaos ha-chaos group-chaos matrix-chaos stress pisa-race cover fuzz-smoke bench-smoke; do
+for name in chaos fabric-chaos ha-chaos group-chaos matrix-chaos hierarchy-chaos stress pisa-race cover fuzz-smoke bench-smoke; do
     status="$(cat "$tmp/$name.status" 2>/dev/null || echo 1)"
     if [ "$status" != 0 ]; then
         echo "== FAILED: $name"
